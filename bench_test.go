@@ -1,0 +1,358 @@
+package mosaic
+
+// One benchmark per reconstructed table/figure (E1-E12) and ablation
+// (A1-A4). Each bench regenerates its experiment through the same code
+// path as cmd/mosaicbench, reports the headline numbers as custom metrics,
+// and (with -v) logs the full table.
+//
+//	go test -bench=. -benchmem            # all experiments as benchmarks
+//	go test -bench=BenchmarkE4 -v         # one experiment, with its table
+//	go run ./cmd/mosaicbench              # the same tables as a report
+
+import (
+	"bytes"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"mosaic/internal/channel"
+	"mosaic/internal/core"
+	"mosaic/internal/experiments"
+	"mosaic/internal/phy"
+	"mosaic/internal/power"
+	"mosaic/internal/reliability"
+)
+
+// logTable renders a table into the bench log (visible with -v).
+func logTable(b *testing.B, tab experiments.Table, err error) experiments.Table {
+	b.Helper()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	b.Log("\n" + buf.String())
+	return tab
+}
+
+func BenchmarkE1TradeoffTable(b *testing.B) {
+	var tab experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = experiments.E1Tradeoff()
+	}
+	tab = logTable(b, tab, err)
+	// Headline metrics: Mosaic reach multiple over copper.
+	var dac, mosaic float64
+	for _, r := range tab.Rows {
+		v, _ := strconv.ParseFloat(r[1], 64)
+		switch r[0] {
+		case "DAC":
+			dac = v
+		case "Mosaic":
+			mosaic = v
+		}
+	}
+	if dac > 0 {
+		b.ReportMetric(mosaic/dac, "reach_x_copper")
+	}
+}
+
+func BenchmarkE2PowerBreakdown(b *testing.B) {
+	var tab experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = experiments.E2PowerBreakdown()
+	}
+	logTable(b, tab, err)
+	red, err := power.Reduction(power.Mosaic, power.DR, 800e9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(red*100, "reduction_pct")
+}
+
+func BenchmarkE3PowerScaling(b *testing.B) {
+	var tab experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = experiments.E3PowerScaling()
+	}
+	logTable(b, tab, err)
+	m, _ := power.PerBudget(power.Mosaic, 1.6e12)
+	b.ReportMetric(m.PJPerBit(), "mosaic_1.6T_pJ_per_bit")
+}
+
+func BenchmarkE4ReachBudget(b *testing.B) {
+	var tab experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = experiments.E4ReachBudget()
+	}
+	logTable(b, tab, err)
+	b.ReportMetric(core.DefaultDesign().MaxReach(1e-12), "reach_m")
+	b.ReportMetric(channel.Twinax26AWG().MaxReach(
+		channel.NyquistHz(106.25e9, channel.PAM4), 28), "copper_reach_m")
+}
+
+func BenchmarkE5PrototypeBER(b *testing.B) {
+	var tab experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = experiments.E5PrototypeBER(1)
+	}
+	logTable(b, tab, err)
+	d := core.DefaultDesign()
+	d.LengthM = 40
+	rep, err := d.Evaluate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(rep.MedianBER, "median_BER_40m")
+	b.ReportMetric(float64(rep.BelowTarget), "channels_above_1e-12")
+}
+
+func BenchmarkE6Misalignment(b *testing.B) {
+	var tab experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = experiments.E6Misalignment()
+	}
+	logTable(b, tab, err)
+	d := core.DefaultDesign()
+	penalty := d.Fiber.CouplingLossDB(d.SpotDiameterM, 10e-6) -
+		d.Fiber.CouplingLossDB(d.SpotDiameterM, 0)
+	b.ReportMetric(penalty, "10um_penalty_dB")
+}
+
+func BenchmarkE7Reliability(b *testing.B) {
+	var tab experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = experiments.E7Reliability()
+	}
+	logTable(b, tab, err)
+	mission := 5 * reliability.HoursPerYear
+	b.ReportMetric(float64(reliability.MosaicLinkFIT(400, 16, mission)), "mosaic_FIT")
+	b.ReportMetric(float64(reliability.LinkFIT(reliability.FITLaserDFB, 8)), "dr8_FIT")
+}
+
+func BenchmarkE8ScalingTable(b *testing.B) {
+	var tab experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = experiments.E8ScalingTable()
+	}
+	logTable(b, tab, err)
+	b.ReportMetric(float64(power.MosaicChannels(1.6e12)), "channels_at_1.6T")
+}
+
+func BenchmarkE9SweetSpot(b *testing.B) {
+	var tab experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = experiments.E9SweetSpot()
+	}
+	logTable(b, tab, err)
+	b.ReportMetric(power.SweetSpotRate()/1e9, "sweet_spot_Gbps")
+}
+
+func BenchmarkE10EndToEnd(b *testing.B) {
+	var tab experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = experiments.E10EndToEnd(1)
+	}
+	logTable(b, tab, err)
+}
+
+func BenchmarkE11Datacenter(b *testing.B) {
+	var tab experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = experiments.E11Datacenter()
+	}
+	logTable(b, tab, err)
+}
+
+func BenchmarkE12Degradation(b *testing.B) {
+	var tab experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = experiments.E12Degradation(1)
+	}
+	logTable(b, tab, err)
+}
+
+func BenchmarkE13Temperature(b *testing.B) {
+	var tab experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = experiments.E13Temperature()
+	}
+	logTable(b, tab, err)
+}
+
+func BenchmarkE14Latency(b *testing.B) {
+	var tab experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = experiments.E14Latency()
+	}
+	logTable(b, tab, err)
+}
+
+func BenchmarkE15Cost(b *testing.B) {
+	var tab experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = experiments.E15Cost()
+	}
+	logTable(b, tab, err)
+	_, cheapest, err := power.CheapestAt(800e9, 30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(cheapest.TotalUSD(), "mosaic_30m_usd")
+}
+
+func BenchmarkE16BlastRadius(b *testing.B) {
+	var tab experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = experiments.E16BlastRadius(1)
+	}
+	logTable(b, tab, err)
+}
+
+func BenchmarkE17Equalization(b *testing.B) {
+	var tab experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = experiments.E17Equalization()
+	}
+	logTable(b, tab, err)
+}
+
+func BenchmarkE18Waterfall(b *testing.B) {
+	var tab experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = experiments.E18Waterfall(1)
+	}
+	logTable(b, tab, err)
+}
+
+func BenchmarkE19OpticsBudget(b *testing.B) {
+	var tab experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = experiments.E19OpticsBudget()
+	}
+	logTable(b, tab, err)
+}
+
+func BenchmarkE20FleetTCO(b *testing.B) {
+	var tab experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = experiments.E20FleetTCO()
+	}
+	logTable(b, tab, err)
+}
+
+func BenchmarkE21PredictiveMaintenance(b *testing.B) {
+	var tab experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = experiments.E21PredictiveMaintenance(1)
+	}
+	logTable(b, tab, err)
+}
+
+func BenchmarkA5Modulation(b *testing.B) {
+	var tab experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = experiments.A5Modulation()
+	}
+	logTable(b, tab, err)
+}
+
+func BenchmarkA1Oversampling(b *testing.B) {
+	var tab experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = experiments.A1Oversampling()
+	}
+	logTable(b, tab, err)
+}
+
+func BenchmarkA2FECChoice(b *testing.B) {
+	var tab experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = experiments.A2FECChoice(1)
+	}
+	logTable(b, tab, err)
+}
+
+func BenchmarkA3UnitSize(b *testing.B) {
+	var tab experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = experiments.A3UnitSize(1)
+	}
+	logTable(b, tab, err)
+}
+
+func BenchmarkA4SparingPolicy(b *testing.B) {
+	var tab experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = experiments.A4SparingPolicy(1)
+	}
+	logTable(b, tab, err)
+}
+
+// BenchmarkPipelineThroughput measures the raw simulation speed of the
+// bit-true 100-channel pipeline (not a paper figure; an implementation
+// benchmark).
+func BenchmarkPipelineThroughput(b *testing.B) {
+	link, err := core.DefaultDesign().BuildPHY()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	frames := make([][]byte, 64)
+	total := 0
+	for i := range frames {
+		frames[i] = make([]byte, 1500)
+		rng.Read(frames[i])
+		total += 1500
+	}
+	b.SetBytes(int64(total))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := link.Exchange(frames); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFECSchemes compares per-channel FEC encode+decode speed.
+func BenchmarkFECSchemes(b *testing.B) {
+	payload := make([]byte, 243)
+	rand.New(rand.NewSource(1)).Read(payload)
+	for _, fec := range []phy.FEC{phy.NoFEC{}, phy.HammingFEC{}, phy.NewRSLite(), phy.NewRSKP4()} {
+		b.Run(fec.Name(), func(b *testing.B) {
+			b.SetBytes(int64(len(payload)))
+			for i := 0; i < b.N; i++ {
+				enc := fec.Encode(payload)
+				if _, _, err := fec.Decode(enc, len(payload)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,70 @@
+// Command mosaicbench regenerates the paper's evaluation: every
+// reconstructed table and figure (E1-E12) plus the design-choice ablations
+// (A1-A4). Run with no arguments for the full suite, or select experiments:
+//
+//	mosaicbench                 # everything
+//	mosaicbench -exp E4         # one experiment
+//	mosaicbench -exp E1,E2,E7   # a subset
+//	mosaicbench -list           # list experiments
+//	mosaicbench -seed 7         # change the simulation seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mosaic/internal/experiments"
+)
+
+func main() {
+	var (
+		expFlag  = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+		seedFlag = flag.Int64("seed", 1, "simulation seed")
+		listFlag = flag.Bool("list", false, "list experiment IDs and exit")
+		csvFlag  = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	all := experiments.All(*seedFlag)
+	if *listFlag {
+		for _, e := range all {
+			tab, err := e.Gen()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+				continue
+			}
+			fmt.Printf("%-4s %s\n", e.ID, tab.Title)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *expFlag != "" {
+		for _, id := range strings.Split(*expFlag, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	ran := 0
+	for _, e := range all {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		tab, err := e.Gen()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mosaicbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if *csvFlag {
+			tab.FprintCSV(os.Stdout)
+		} else {
+			tab.Fprint(os.Stdout)
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "mosaicbench: no experiments matched %q (try -list)\n", *expFlag)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,11 @@
+// Package mosaic is a from-scratch reproduction of "Mosaic: Breaking the
+// Optics versus Copper Trade-off with a Wide-and-Slow Architecture and
+// MicroLEDs" (SIGCOMM 2025): device and fiber physics, the wide-and-slow
+// PHY (gearbox, framing, FEC, sparing), power and reliability models,
+// baselines (copper DAC, laser optics), and a datacenter-scale simulator.
+//
+// The public entry point is internal/core (link design and analysis); the
+// experiment suite lives in internal/experiments and is driven by
+// cmd/mosaicbench and the benchmarks in bench_test.go. See DESIGN.md for
+// the system inventory and EXPERIMENTS.md for paper-vs-measured results.
+package mosaic

@@ -1,0 +1,73 @@
+// Reachpower: the trade-off the paper breaks, as a text figure. For each
+// link technology it plots energy per bit against usable reach at 800G and
+// prints the per-component budgets, then sweeps the Mosaic link budget out
+// to its maximum reach.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"mosaic/internal/core"
+	"mosaic/internal/power"
+)
+
+func main() {
+	design := core.DefaultDesign()
+
+	rows, err := design.CompareTechnologies(800e9)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("The optics vs copper trade-off at 800G (and how Mosaic sits outside it):")
+	fmt.Printf("%-8s %10s %10s %10s\n", "tech", "reach_m", "pJ/bit", "link_FIT")
+	for _, r := range rows {
+		fmt.Printf("%-8s %10.1f %10.2f %10.0f\n", r.Tech, r.ReachM, r.PJPerBit, r.LinkFIT)
+	}
+
+	// A small ASCII scatter: reach (log-ish buckets) vs energy.
+	fmt.Println("\nenergy/bit vs reach (each * is one technology):")
+	for _, r := range rows {
+		bar := int(r.PJPerBit)
+		if bar > 60 {
+			bar = 60
+		}
+		fmt.Printf("%-8s |%s* %5.1f pJ/bit @ %.0fm\n",
+			r.Tech, strings.Repeat(" ", bar), r.PJPerBit, r.ReachM)
+	}
+
+	// Where the wide-and-slow saving comes from.
+	fmt.Println("\n800G module-pair budgets:")
+	for _, tech := range []power.Tech{power.DR, power.Mosaic} {
+		b, err := power.PerBudget(tech, 800e9)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %.2f W total\n", tech, b.TotalW())
+		for _, c := range b.SortedComponents() {
+			fmt.Printf("   %-18s %6.2f W\n", c.Name, c.PowerW)
+		}
+	}
+	red, err := power.Reduction(power.Mosaic, power.DR, 800e9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Mosaic vs DR: %.0f%% lower power\n", red*100)
+
+	// And the reach sweep of the Mosaic link itself.
+	fmt.Println("\nMosaic link budget vs reach (2 Gbps/channel, NRZ):")
+	fmt.Printf("%8s %10s %12s %10s\n", "len_m", "rx_dBm", "BER", "margin_dB")
+	for _, l := range []float64{2, 10, 20, 30, 40, 50, 60} {
+		d := design
+		d.LengthM = l
+		res, err := d.NominalChannel()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8.0f %10.1f %12.2e %10.1f\n", l, res.RxPowerDBm, res.BER, res.MarginDB)
+	}
+	fmt.Printf("\nmax reach at 1e-12: %.1f m (copper at 112G PAM4: ~2 m)\n",
+		design.MaxReach(1e-12))
+}

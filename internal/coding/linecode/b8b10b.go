@@ -1,0 +1,284 @@
+package linecode
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The 8b/10b code (Widmer & Franaszek) guarantees DC balance and a maximum
+// run length of 5 via running disparity. Mosaic-class channels are
+// AC-coupled directly into an LED driver, so per-channel DC balance is a
+// hard requirement; 8b/10b is the classic way to get it when the 25%
+// overhead of a scrambler-free code is acceptable at 2 Gbps.
+//
+// Bit convention in this package: the 6-bit sub-block is written abcdei
+// with 'a' as the MOST significant bit of the 6-bit value, and the 4-bit
+// sub-block fghj with 'f' as the most significant bit. A full 10-bit symbol
+// is (sixb << 4) | fourb.
+
+// enc6 maps the 5-bit value EDCBA to its 6-bit encodings; column 0 is used
+// when the running disparity is negative, column 1 when positive.
+var enc6 = [32][2]uint8{
+	{0b100111, 0b011000}, // D.00
+	{0b011101, 0b100010}, // D.01
+	{0b101101, 0b010010}, // D.02
+	{0b110001, 0b110001}, // D.03
+	{0b110101, 0b001010}, // D.04
+	{0b101001, 0b101001}, // D.05
+	{0b011001, 0b011001}, // D.06
+	{0b111000, 0b000111}, // D.07
+	{0b111001, 0b000110}, // D.08
+	{0b100101, 0b100101}, // D.09
+	{0b010101, 0b010101}, // D.10
+	{0b110100, 0b110100}, // D.11
+	{0b001101, 0b001101}, // D.12
+	{0b101100, 0b101100}, // D.13
+	{0b011100, 0b011100}, // D.14
+	{0b010111, 0b101000}, // D.15
+	{0b011011, 0b100100}, // D.16
+	{0b100011, 0b100011}, // D.17
+	{0b010011, 0b010011}, // D.18
+	{0b110010, 0b110010}, // D.19
+	{0b001011, 0b001011}, // D.20
+	{0b101010, 0b101010}, // D.21
+	{0b011010, 0b011010}, // D.22
+	{0b111010, 0b000101}, // D.23
+	{0b110011, 0b001100}, // D.24
+	{0b100110, 0b100110}, // D.25
+	{0b010110, 0b010110}, // D.26
+	{0b110110, 0b001001}, // D.27
+	{0b001110, 0b001110}, // D.28
+	{0b101110, 0b010001}, // D.29
+	{0b011110, 0b100001}, // D.30
+	{0b101011, 0b010100}, // D.31
+}
+
+// enc4 maps the 3-bit value HGF to its primary 4-bit encodings (column 0
+// for RD-, column 1 for RD+). Index 7 holds the primary D.x.P7 encoding;
+// the alternate D.x.A7 is handled specially.
+var enc4 = [8][2]uint8{
+	{0b1011, 0b0100}, // D.x.0
+	{0b1001, 0b1001}, // D.x.1
+	{0b0101, 0b0101}, // D.x.2
+	{0b1100, 0b0011}, // D.x.3
+	{0b1101, 0b0010}, // D.x.4
+	{0b1010, 0b1010}, // D.x.5
+	{0b0110, 0b0110}, // D.x.6
+	{0b1110, 0b0001}, // D.x.P7
+}
+
+// a7 holds the alternate D.x.A7 encodings (RD-, RD+).
+var a7 = [2]uint8{0b0111, 0b1000}
+
+// K28.5, the comma symbol used for per-channel alignment.
+var k285 = [2]uint16{0b0011111010, 0b1100000101} // RD-, RD+
+
+// Encoder8b10b is a stateful 8b/10b encoder carrying running disparity.
+// The zero value starts with negative running disparity (the convention).
+type Encoder8b10b struct {
+	rdPlus bool // false: RD-, true: RD+
+}
+
+// RD returns the current running disparity: -1 or +1.
+func (e *Encoder8b10b) RD() int {
+	if e.rdPlus {
+		return 1
+	}
+	return -1
+}
+
+func popcount6(v uint8) int {
+	n := 0
+	for i := 0; i < 6; i++ {
+		n += int(v>>uint(i)) & 1
+	}
+	return n
+}
+
+func popcount4(v uint8) int {
+	n := 0
+	for i := 0; i < 4; i++ {
+		n += int(v>>uint(i)) & 1
+	}
+	return n
+}
+
+// EncodeByte encodes one data byte into a 10-bit symbol.
+func (e *Encoder8b10b) EncodeByte(b byte) uint16 {
+	x := b & 0x1f        // EDCBA
+	y := (b >> 5) & 0x07 // HGF
+
+	col := 0
+	if e.rdPlus {
+		col = 1
+	}
+	six := enc6[x][col]
+	// Sub-block disparity of the 6b group updates RD before choosing 4b.
+	d6 := popcount6(six)*2 - 6
+	rdAfter6 := e.rdPlus
+	if d6 > 0 {
+		rdAfter6 = true
+	} else if d6 < 0 {
+		rdAfter6 = false
+	}
+
+	var four uint8
+	if y == 7 {
+		// Choose A7 to avoid a run of five identical bits across the
+		// sub-block boundary: RD- with x in {17,18,20}, RD+ with x in
+		// {11,13,14}.
+		useA7 := (!rdAfter6 && (x == 17 || x == 18 || x == 20)) ||
+			(rdAfter6 && (x == 11 || x == 13 || x == 14))
+		if useA7 {
+			if rdAfter6 {
+				four = a7[1]
+			} else {
+				four = a7[0]
+			}
+		} else {
+			if rdAfter6 {
+				four = enc4[7][1]
+			} else {
+				four = enc4[7][0]
+			}
+		}
+	} else {
+		if rdAfter6 {
+			four = enc4[y][1]
+		} else {
+			four = enc4[y][0]
+		}
+	}
+	d4 := popcount4(four)*2 - 4
+	rdFinal := rdAfter6
+	if d4 > 0 {
+		rdFinal = true
+	} else if d4 < 0 {
+		rdFinal = false
+	}
+	e.rdPlus = rdFinal
+	return uint16(six)<<4 | uint16(four)
+}
+
+// EncodeComma emits the K28.5 comma symbol (used for alignment).
+func (e *Encoder8b10b) EncodeComma() uint16 {
+	var sym uint16
+	if e.rdPlus {
+		sym = k285[1]
+	} else {
+		sym = k285[0]
+	}
+	// K28.5 inverts running disparity (both sub-blocks are unbalanced).
+	e.rdPlus = !e.rdPlus
+	return sym
+}
+
+// Encode encodes a byte slice into 10-bit symbols.
+func (e *Encoder8b10b) Encode(data []byte) []uint16 {
+	out := make([]uint16, len(data))
+	for i, b := range data {
+		out[i] = e.EncodeByte(b)
+	}
+	return out
+}
+
+// Decoder8b10b is a stateless table decoder (disparity errors are detected
+// as invalid symbols only when the sub-block is not in any column).
+type Decoder8b10b struct {
+	dec6 map[uint8]uint8
+	dec4 map[uint8]uint8
+}
+
+// NewDecoder8b10b builds the reverse tables.
+func NewDecoder8b10b() *Decoder8b10b {
+	d := &Decoder8b10b{
+		dec6: make(map[uint8]uint8, 64),
+		dec4: make(map[uint8]uint8, 16),
+	}
+	for v, cols := range enc6 {
+		d.dec6[cols[0]] = uint8(v)
+		d.dec6[cols[1]] = uint8(v)
+	}
+	for v, cols := range enc4 {
+		d.dec4[cols[0]] = uint8(v)
+		d.dec4[cols[1]] = uint8(v)
+	}
+	d.dec4[a7[0]] = 7
+	d.dec4[a7[1]] = 7
+	return d
+}
+
+// ErrInvalidSymbol is returned for a 10-bit value outside the code.
+var ErrInvalidSymbol = errors.New("linecode: invalid 8b/10b symbol")
+
+// IsComma reports whether the symbol is a K28.5 comma.
+func IsComma(sym uint16) bool {
+	return sym == k285[0] || sym == k285[1]
+}
+
+// DecodeSymbol decodes one 10-bit symbol to a byte. Commas decode with
+// comma=true.
+func (d *Decoder8b10b) DecodeSymbol(sym uint16) (b byte, comma bool, err error) {
+	if IsComma(sym) {
+		return 0xbc, true, nil // K28.5's data pattern is 0xBC
+	}
+	six := uint8(sym>>4) & 0x3f
+	four := uint8(sym) & 0x0f
+	x, ok := d.dec6[six]
+	if !ok {
+		return 0, false, fmt.Errorf("%w: 6b group %06b", ErrInvalidSymbol, six)
+	}
+	y, ok := d.dec4[four]
+	if !ok {
+		return 0, false, fmt.Errorf("%w: 4b group %04b", ErrInvalidSymbol, four)
+	}
+	return y<<5 | x, false, nil
+}
+
+// Decode decodes symbols to bytes, skipping commas. It stops at the first
+// invalid symbol and returns what it has plus the error.
+func (d *Decoder8b10b) Decode(syms []uint16) ([]byte, error) {
+	out := make([]byte, 0, len(syms))
+	for _, s := range syms {
+		b, comma, err := d.DecodeSymbol(s)
+		if err != nil {
+			return out, err
+		}
+		if !comma {
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}
+
+// SymbolDisparity returns the disparity (ones minus zeros) of a 10-bit
+// symbol: -2, 0, or +2 for valid symbols.
+func SymbolDisparity(sym uint16) int {
+	n := 0
+	for i := 0; i < 10; i++ {
+		n += int(sym>>uint(i)) & 1
+	}
+	return n*2 - 10
+}
+
+// MaxRunLength returns the length of the longest run of identical bits in
+// the packed 10-bit symbol stream (for code-property tests).
+func MaxRunLength(syms []uint16) int {
+	best, cur := 0, 0
+	last := byte(0xff)
+	for _, s := range syms {
+		for i := 9; i >= 0; i-- { // transmit MSB (bit 'a') first
+			bit := byte(s>>uint(i)) & 1
+			if bit == last {
+				cur++
+			} else {
+				cur = 1
+				last = bit
+			}
+			if cur > best {
+				best = cur
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,398 @@
+package linecode
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// --- Scrambler ---
+
+func TestScramblerRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, 4096)
+	rng.Read(data)
+	in := append([]byte(nil), data...)
+
+	s := NewScrambler(0x123456789abcd)
+	d := NewDescrambler(0x123456789abcd) // matching state: exact from bit 0
+	scrambled := s.Scramble(append([]byte(nil), in...))
+	out := d.Descramble(append([]byte(nil), scrambled...))
+	if !bytes.Equal(out, data) {
+		t.Fatal("scramble/descramble with matching state not identity")
+	}
+}
+
+func TestScramblerSelfSynchronizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data := make([]byte, 1024)
+	rng.Read(data)
+
+	s := NewScrambler(0xdeadbeefcafe)
+	d := NewDescrambler(0) // wrong state on purpose
+	scrambled := s.Scramble(append([]byte(nil), data...))
+	out := d.Descramble(scrambled)
+	// After 58 bits (8 bytes) the descrambler must have locked.
+	if !bytes.Equal(out[8:], data[8:]) {
+		t.Fatal("descrambler did not self-synchronize after 58 bits")
+	}
+}
+
+func TestScramblerErrorMultiplication(t *testing.T) {
+	// A single channel bit error corrupts at most 3 descrambled bits.
+	data := make([]byte, 256)
+	s1 := NewScrambler(7)
+	s2 := NewScrambler(7)
+	a := s1.Scramble(append([]byte(nil), data...))
+	b := s2.Scramble(append([]byte(nil), data...))
+	b[100] ^= 0x01 // one bit error
+
+	da := NewDescrambler(0).Descramble(a)
+	db := NewDescrambler(0).Descramble(b)
+	diff := 0
+	for i := range da {
+		x := da[i] ^ db[i]
+		for ; x != 0; x &= x - 1 {
+			diff++
+		}
+	}
+	if diff == 0 || diff > 3 {
+		t.Errorf("error multiplication = %d bits, want 1..3", diff)
+	}
+}
+
+func TestScramblerWhitens(t *testing.T) {
+	// All-zero input must come out roughly balanced (this is the whole
+	// point of scrambling a DC-coupled line).
+	s := NewScrambler(0x5a5a5a5a5a5a5)
+	out := s.Scramble(make([]byte, 1<<16))
+	ones := 0
+	for _, b := range out {
+		for x := b; x != 0; x &= x - 1 {
+			ones++
+		}
+	}
+	total := 8 * (1 << 16)
+	frac := float64(ones) / float64(total)
+	if frac < 0.47 || frac > 0.53 {
+		t.Errorf("scrambled all-zeros has ones fraction %v, want ~0.5", frac)
+	}
+}
+
+// --- 8b/10b ---
+
+func TestEnc6TableSanity(t *testing.T) {
+	for v, cols := range enc6 {
+		for c, code := range cols {
+			d := popcount6(code)*2 - 6
+			if d != 0 && d != 2 && d != -2 {
+				t.Errorf("enc6[%d][%d] disparity %d", v, c, d)
+			}
+		}
+		// Alternate columns must have opposite (or zero) disparity.
+		d0 := popcount6(cols[0])*2 - 6
+		d1 := popcount6(cols[1])*2 - 6
+		if d0 != -d1 && !(d0 == 0 && d1 == 0) {
+			t.Errorf("enc6[%d]: disparities %d,%d not complementary", v, d0, d1)
+		}
+		// RD- column must not have negative disparity.
+		if d0 < 0 {
+			t.Errorf("enc6[%d]: RD- column has negative disparity", v)
+		}
+	}
+}
+
+func TestEnc4TableSanity(t *testing.T) {
+	for v, cols := range enc4 {
+		d0 := popcount4(cols[0])*2 - 4
+		d1 := popcount4(cols[1])*2 - 4
+		if d0 != -d1 && !(d0 == 0 && d1 == 0) {
+			t.Errorf("enc4[%d]: disparities %d,%d not complementary", v, d0, d1)
+		}
+		if d0 < 0 {
+			t.Errorf("enc4[%d]: RD- column negative disparity", v)
+		}
+	}
+}
+
+func TestEncode8b10bRoundTripAllBytes(t *testing.T) {
+	var enc Encoder8b10b
+	dec := NewDecoder8b10b()
+	for round := 0; round < 4; round++ { // hit both RD states
+		for v := 0; v < 256; v++ {
+			sym := enc.EncodeByte(byte(v))
+			got, comma, err := dec.DecodeSymbol(sym)
+			if err != nil {
+				t.Fatalf("byte %#02x RD round %d: %v", v, round, err)
+			}
+			if comma {
+				t.Fatalf("byte %#02x decoded as comma", v)
+			}
+			if got != byte(v) {
+				t.Fatalf("byte %#02x decoded as %#02x", v, got)
+			}
+		}
+	}
+}
+
+func TestRunningDisparityBounded(t *testing.T) {
+	var enc Encoder8b10b
+	rng := rand.New(rand.NewSource(3))
+	rd := -1
+	for i := 0; i < 100000; i++ {
+		sym := enc.EncodeByte(byte(rng.Intn(256)))
+		rd += SymbolDisparity(sym)
+		if rd != -1 && rd != 1 {
+			t.Fatalf("running disparity escaped to %d at symbol %d", rd, i)
+		}
+		if enc.RD() != rd {
+			t.Fatalf("encoder RD %d != tracked %d", enc.RD(), rd)
+		}
+	}
+}
+
+func TestDCBalanceLongStream(t *testing.T) {
+	var enc Encoder8b10b
+	// Worst case for DC balance: constant bytes.
+	for _, fill := range []byte{0x00, 0xff, 0xaa, 0x17} {
+		ones, total := 0, 0
+		e := enc
+		for i := 0; i < 10000; i++ {
+			sym := e.EncodeByte(fill)
+			total += 10
+			for j := 0; j < 10; j++ {
+				ones += int(sym>>uint(j)) & 1
+			}
+		}
+		frac := float64(ones) / float64(total)
+		if frac < 0.49 || frac > 0.51 {
+			t.Errorf("fill %#02x: ones fraction %v, want ~0.5", fill, frac)
+		}
+	}
+}
+
+func TestMaxRunLengthProperty(t *testing.T) {
+	var enc Encoder8b10b
+	rng := rand.New(rand.NewSource(4))
+	data := make([]byte, 20000)
+	rng.Read(data)
+	syms := enc.Encode(data)
+	if run := MaxRunLength(syms); run > 5 {
+		t.Errorf("8b/10b run length %d exceeds 5", run)
+	}
+}
+
+func TestCommaSymbol(t *testing.T) {
+	var enc Encoder8b10b
+	dec := NewDecoder8b10b()
+	sym := enc.EncodeComma()
+	if !IsComma(sym) {
+		t.Fatal("EncodeComma did not produce a comma")
+	}
+	b, comma, err := dec.DecodeSymbol(sym)
+	if err != nil || !comma || b != 0xbc {
+		t.Fatalf("comma decode: b=%#02x comma=%v err=%v", b, comma, err)
+	}
+	// Comma flips RD.
+	if enc.RD() != 1 {
+		t.Errorf("RD after comma from - should be +, got %d", enc.RD())
+	}
+}
+
+func TestDecodeInvalidSymbol(t *testing.T) {
+	dec := NewDecoder8b10b()
+	// 6b group 000000 is not in the code.
+	if _, _, err := dec.DecodeSymbol(0); err == nil {
+		t.Error("all-zero symbol accepted")
+	}
+	// Valid 6b, invalid 4b (0000).
+	if _, _, err := dec.DecodeSymbol(0b1100010000); err == nil {
+		t.Error("invalid 4b group accepted")
+	}
+}
+
+func TestDecodeStreamSkipsCommas(t *testing.T) {
+	var enc Encoder8b10b
+	dec := NewDecoder8b10b()
+	syms := []uint16{enc.EncodeByte(0x42), enc.EncodeComma(), enc.EncodeByte(0x99)}
+	out, err := dec.Decode(syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, []byte{0x42, 0x99}) {
+		t.Fatalf("got %x", out)
+	}
+}
+
+func Test8b10bQuickRoundTrip(t *testing.T) {
+	dec := NewDecoder8b10b()
+	prop := func(data []byte) bool {
+		var enc Encoder8b10b
+		out, err := dec.Decode(enc.Encode(data))
+		return err == nil && bytes.Equal(out, data)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- 64b/66b ---
+
+func TestBlockEncodeDecodeRoundTrip(t *testing.T) {
+	var d8 [8]byte
+	copy(d8[:], "abcdefgh")
+	var f7 [7]byte
+	copy(f7[:], "1234567")
+	term3, _ := TermBlock([]byte{9, 8, 7})
+	blocks := []Block{
+		DataBlock(d8),
+		IdleBlock(),
+		StartBlock(f7),
+		term3,
+	}
+	for _, want := range blocks {
+		sync, payload, err := want.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeBlock(sync, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Kind != want.Kind || got.TermLen != want.TermLen {
+			t.Fatalf("kind/termlen mismatch: %+v vs %+v", got, want)
+		}
+		if got.Kind == KindData && got.Data != want.Data {
+			t.Fatal("data mismatch")
+		}
+	}
+}
+
+func TestAllTermLengths(t *testing.T) {
+	for n := 0; n <= 7; n++ {
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(i + 1)
+		}
+		b, err := TermBlock(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sync, payload, err := b.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeBlock(sync, payload)
+		if err != nil || got.TermLen != n {
+			t.Fatalf("T%d: %v, len %d", n, err, got.TermLen)
+		}
+		if !bytes.Equal(got.Data[:n], data) {
+			t.Fatalf("T%d data mismatch", n)
+		}
+	}
+	if _, err := TermBlock(make([]byte, 8)); err == nil {
+		t.Error("8-byte terminate accepted")
+	}
+}
+
+func TestDecodeBlockErrors(t *testing.T) {
+	var p [8]byte
+	if _, err := DecodeBlock(0b11, p); err == nil {
+		t.Error("bad sync accepted")
+	}
+	p[0] = 0x42 // unknown control type
+	if _, err := DecodeBlock(SyncCtrl, p); err == nil {
+		t.Error("unknown block type accepted")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{7, 8, 15, 16, 64, 65, 1499, 1500} {
+		frame := make([]byte, n)
+		rng.Read(frame)
+		blocks, err := FrameToBlocks(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, used, err := BlocksToFrame(blocks)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if used != len(blocks) {
+			t.Errorf("n=%d: consumed %d of %d blocks", n, used, len(blocks))
+		}
+		if !bytes.Equal(got, frame) {
+			t.Fatalf("n=%d: frame mismatch", n)
+		}
+	}
+}
+
+func TestFrameTooShort(t *testing.T) {
+	if _, err := FrameToBlocks(make([]byte, 3)); err == nil {
+		t.Error("sub-minimum frame accepted")
+	}
+}
+
+func TestBlocksToFrameErrors(t *testing.T) {
+	if _, _, err := BlocksToFrame(nil); err == nil {
+		t.Error("empty block list accepted")
+	}
+	if _, _, err := BlocksToFrame([]Block{IdleBlock()}); err == nil {
+		t.Error("frame not starting with start block accepted")
+	}
+	var f7 [7]byte
+	if _, _, err := BlocksToFrame([]Block{StartBlock(f7), IdleBlock()}); err == nil {
+		t.Error("idle inside frame accepted")
+	}
+	if _, _, err := BlocksToFrame([]Block{StartBlock(f7)}); err == nil {
+		t.Error("unterminated frame accepted")
+	}
+}
+
+func TestFrameQuickRoundTrip(t *testing.T) {
+	prop := func(raw []byte) bool {
+		if len(raw) < MinFrameLen {
+			raw = append(raw, make([]byte, MinFrameLen-len(raw))...)
+		}
+		blocks, err := FrameToBlocks(raw)
+		if err != nil {
+			return false
+		}
+		got, _, err := BlocksToFrame(blocks)
+		return err == nil && bytes.Equal(got, raw)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for _, k := range []BlockKind{KindData, KindIdle, KindStart, KindTerm} {
+		if k.String() == "" {
+			t.Error("empty kind name")
+		}
+	}
+	if BlockKind(99).String() != "kind(99)" {
+		t.Error("unknown kind formatting")
+	}
+}
+
+func BenchmarkScramble(b *testing.B) {
+	s := NewScrambler(1)
+	buf := make([]byte, 4096)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		s.Scramble(buf)
+	}
+}
+
+func Benchmark8b10bEncode(b *testing.B) {
+	var enc Encoder8b10b
+	data := make([]byte, 4096)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		enc.Encode(data)
+	}
+}

@@ -1,0 +1,80 @@
+// Package linecode implements the line codes a serial PHY needs: the
+// self-synchronizing x^58 scrambler and 64b/66b block coding used by
+// Ethernet PCS layers (and by Mosaic's protocol-agnostic gearbox), and the
+// classic 8b/10b code with running disparity used where DC balance must be
+// guaranteed per channel (a directly-modulated LED has no bias tee — the
+// driver is AC-coupled, so per-channel DC balance matters).
+package linecode
+
+// Scrambler is the self-synchronizing multiplicative scrambler with
+// polynomial G(x) = 1 + x^39 + x^58 (IEEE 802.3 clause 49). Because it is
+// self-synchronizing, the descrambler locks onto the stream after 58 bits
+// regardless of initial state — exactly what a wide-and-slow receiver wants
+// after a channel remap.
+//
+// The zero value is a scrambler with an all-zero state; any state works.
+type Scrambler struct {
+	state uint64 // bits 0..57 hold x^1..x^58
+}
+
+// NewScrambler returns a scrambler seeded with the given state (only the
+// low 58 bits are used). Seeding with a non-zero value avoids a long
+// zero-output prefix on all-zero input.
+func NewScrambler(seed uint64) *Scrambler {
+	return &Scrambler{state: seed & (1<<58 - 1)}
+}
+
+// ScrambleBit scrambles one bit (0 or 1).
+func (s *Scrambler) ScrambleBit(in byte) byte {
+	tap := byte((s.state>>38)^(s.state>>57)) & 1 // x^39, x^58
+	out := (in & 1) ^ tap
+	s.state = (s.state<<1 | uint64(out)) & (1<<58 - 1)
+	return out
+}
+
+// Scramble scrambles bits in place over a packed byte slice (LSB-first
+// within each byte) and returns the same slice.
+func (s *Scrambler) Scramble(bits []byte) []byte {
+	for i, b := range bits {
+		var out byte
+		for j := 0; j < 8; j++ {
+			out |= s.ScrambleBit(b>>uint(j)) << uint(j)
+		}
+		bits[i] = out
+	}
+	return bits
+}
+
+// Descrambler inverts Scrambler. It self-synchronizes: after 58 input bits
+// its output is correct regardless of initial state, and a single channel
+// bit error corrupts at most 3 output bits (the error plus its two taps).
+type Descrambler struct {
+	state uint64
+}
+
+// NewDescrambler returns a descrambler with the given initial state (it
+// only matters for the first 58 bits).
+func NewDescrambler(seed uint64) *Descrambler {
+	return &Descrambler{state: seed & (1<<58 - 1)}
+}
+
+// DescrambleBit descrambles one bit.
+func (d *Descrambler) DescrambleBit(in byte) byte {
+	tap := byte((d.state>>38)^(d.state>>57)) & 1
+	out := (in & 1) ^ tap
+	d.state = (d.state<<1 | uint64(in&1)) & (1<<58 - 1)
+	return out
+}
+
+// Descramble descrambles bits in place over a packed byte slice (LSB-first
+// within each byte) and returns the same slice.
+func (d *Descrambler) Descramble(bits []byte) []byte {
+	for i, b := range bits {
+		var out byte
+		for j := 0; j < 8; j++ {
+			out |= d.DescrambleBit(b>>uint(j)) << uint(j)
+		}
+		bits[i] = out
+	}
+	return bits
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mosaic/internal/channel"
+	"mosaic/internal/phy"
+)
+
+func TestConfigRoundTrip(t *testing.T) {
+	d := Design800G()
+	d.FEC = phy.HammingFEC{}
+	d.Modulation = channel.PAM4
+	d.LateralOffsetM = 5e-6
+	var buf bytes.Buffer
+	if err := WriteDesign(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDesign(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.AggregateRate != d.AggregateRate || got.Spares != d.Spares ||
+		got.LengthM != d.LengthM || got.Modulation != d.Modulation {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if got.FEC.Name() != "hamming72" {
+		t.Errorf("FEC = %s", got.FEC.Name())
+	}
+	if diff := got.LateralOffsetM - d.LateralOffsetM; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("offset = %v", got.LateralOffsetM)
+	}
+}
+
+func TestConfigDefaultsApply(t *testing.T) {
+	d, err := ReadDesign(strings.NewReader(`{"lengthM": 25}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := DefaultDesign()
+	if d.LengthM != 25 {
+		t.Errorf("lengthM = %v", d.LengthM)
+	}
+	if d.AggregateRate != base.AggregateRate || d.Spares != base.Spares {
+		t.Error("unset fields did not inherit defaults")
+	}
+	if d.FEC.Name() != base.FEC.Name() {
+		t.Error("default FEC not preserved")
+	}
+}
+
+func TestConfigZeroSpares(t *testing.T) {
+	// The pointer type must distinguish "spares: 0" from "unset".
+	d, err := ReadDesign(strings.NewReader(`{"spares": 0}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Spares != 0 {
+		t.Errorf("spares = %d, want explicit 0", d.Spares)
+	}
+}
+
+func TestConfigRejects(t *testing.T) {
+	cases := []string{
+		`{"modulation": "qam256"}`,
+		`{"fec": "turbo"}`,
+		`{"lengthM": -5}`,
+		`{"unknownField": 1}`,
+		`not json`,
+	}
+	for _, c := range cases {
+		if _, err := ReadDesign(strings.NewReader(c)); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+}
+
+func TestConfigPAM4AndKP4Names(t *testing.T) {
+	d, err := ReadDesign(strings.NewReader(`{"modulation": "pam4", "fec": "kp4"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := FromDesign(d)
+	if cfg.Modulation != "pam4" || cfg.FEC != "kp4" {
+		t.Errorf("captured config = %+v", cfg)
+	}
+	none, _ := ReadDesign(strings.NewReader(`{"fec": "none"}`))
+	if FromDesign(none).FEC != "none" {
+		t.Error("none FEC not captured")
+	}
+}
+
+func TestLoadDesignFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "design.json")
+	if err := os.WriteFile(path, []byte(`{"lengthM": 12, "seed": 9}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := LoadDesign(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.LengthM != 12 || d.Seed != 9 {
+		t.Errorf("loaded %+v", d)
+	}
+	if _, err := LoadDesign(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,192 @@
+// Package core is the public face of the Mosaic reproduction: it assembles
+// the device physics (photonics), medium (fiber), link analysis (channel),
+// digital pipeline (phy), power, and reliability models into one Design
+// object that can be analysed (budgets, reach, power, availability) and
+// instantiated as a bit-true simulated link.
+//
+// Typical use:
+//
+//	d := core.DefaultDesign()            // the paper's 100×2G prototype
+//	rep, _ := d.Evaluate()               // per-channel BERs, margins
+//	link, _ := d.BuildPHY()              // runnable bit-true link
+//	out, stats, _ := link.Exchange(frames)
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mosaic/internal/channel"
+	"mosaic/internal/fiber"
+	"mosaic/internal/photonics"
+	"mosaic/internal/phy"
+)
+
+// Design is a complete Mosaic link configuration.
+type Design struct {
+	// Aggregate user rate (bit/s) and per-channel line rate.
+	AggregateRate float64
+	ChannelRate   float64
+	Spares        int
+
+	// Physical path.
+	LengthM        float64
+	LateralOffsetM float64 // connector misalignment
+	SpotDiameterM  float64 // imaged LED spot on the fiber facet
+	ChannelPitchM  float64 // centre-to-centre channel spacing
+
+	// Devices.
+	LED       photonics.MicroLED
+	Fiber     fiber.ImagingFiber
+	Receiver  photonics.Receiver
+	Variation photonics.Variation
+
+	// Signalling.
+	ExtinctionRatioDB float64
+	Modulation        channel.Modulation
+
+	// Digital pipeline.
+	FEC phy.FEC
+
+	Seed int64
+}
+
+// DefaultDesign returns the paper's end-to-end prototype: 100 channels ×
+// 2 Gbps (200G aggregate) over 2 m of imaging fiber, with 4 spares.
+func DefaultDesign() Design {
+	return Design{
+		AggregateRate:     200e9,
+		ChannelRate:       2e9,
+		Spares:            4,
+		LengthM:           2,
+		SpotDiameterM:     40e-6,
+		ChannelPitchM:     50e-6,
+		LED:               photonics.DefaultMicroLED(),
+		Fiber:             fiber.DefaultImagingFiber(),
+		Receiver:          photonics.MosaicReceiver(),
+		Variation:         photonics.DefaultVariation(),
+		ExtinctionRatioDB: 12,
+		Modulation:        channel.NRZ,
+		FEC:               phy.NewRSLite(),
+		Seed:              1,
+	}
+}
+
+// Design800G returns the 800 Gbps scale point: 400 channels × 2 Gbps plus
+// 16 spares, at 10 m. The denser channel grid (25 µm pitch, 20 µm spots)
+// fits 400+ channels in the same imaging bundle — this is the "scales to
+// 800 Gbps and beyond" configuration.
+func Design800G() Design {
+	d := DefaultDesign()
+	d.AggregateRate = 800e9
+	d.Spares = 16
+	d.LengthM = 10
+	d.ChannelPitchM = 25e-6
+	d.SpotDiameterM = 20e-6
+	return d
+}
+
+// WithOptics derives the channel spot size and the system-level extraction
+// efficiency from an explicit imaging train instead of the folded-in
+// defaults: the spot becomes the imaged (and defocus-blurred) LED, and the
+// LED's ExtractionEff becomes chip-level extraction × the optics' total
+// insertion (capture, NA match, transmission). Use this to study lens
+// choices and focus tolerances (experiment E19).
+func (d Design) WithOptics(o fiber.ImagingOptics, chipExtraction float64) (Design, error) {
+	if err := o.Validate(); err != nil {
+		return Design{}, err
+	}
+	if chipExtraction <= 0 || chipExtraction > 1 {
+		return Design{}, errors.New("core: chip extraction must be in (0,1]")
+	}
+	out := d
+	out.SpotDiameterM = o.SpotDiameterM(d.LED.DiameterM)
+	out.LED.ExtractionEff = chipExtraction *
+		math.Pow(10, -o.TotalInsertionDB(d.Fiber.NA)/10)
+	if err := out.Validate(); err != nil {
+		return Design{}, err
+	}
+	return out, nil
+}
+
+// Validate checks the design for physical consistency.
+func (d Design) Validate() error {
+	switch {
+	case d.AggregateRate <= 0 || d.ChannelRate <= 0:
+		return errors.New("core: rates must be positive")
+	case d.Spares < 0:
+		return errors.New("core: spares cannot be negative")
+	case d.LengthM < 0:
+		return errors.New("core: length cannot be negative")
+	case d.SpotDiameterM <= 0 || d.ChannelPitchM <= 0:
+		return errors.New("core: spot and pitch must be positive")
+	case d.SpotDiameterM > d.ChannelPitchM:
+		return errors.New("core: channel spots overlap (spot > pitch)")
+	case d.ExtinctionRatioDB <= 0:
+		return errors.New("core: extinction ratio must be positive")
+	}
+	if err := d.LED.Validate(); err != nil {
+		return err
+	}
+	if err := d.Fiber.Validate(); err != nil {
+		return err
+	}
+	if err := d.Receiver.Validate(); err != nil {
+		return err
+	}
+	if d.DataChannels() < 1 {
+		return errors.New("core: aggregate rate below one channel")
+	}
+	if got := d.Fiber.MaxChannels(d.ChannelPitchM); got < d.TotalChannels() {
+		return fmt.Errorf("core: bundle fits only %d channels, need %d", got, d.TotalChannels())
+	}
+	return nil
+}
+
+// DataChannels returns the number of data-bearing channels.
+func (d Design) DataChannels() int {
+	return int(d.AggregateRate / d.ChannelRate)
+}
+
+// TotalChannels returns data + spare channels.
+func (d Design) TotalChannels() int { return d.DataChannels() + d.Spares }
+
+// channelParams builds the analog parameters for one channel at the given
+// length, applying a variation sample.
+func (d Design) channelParams(lengthM float64, s photonics.ChannelSample) channel.OpticalParams {
+	i := d.LED.NominalCurrent()
+	rx := d.Receiver
+	rx.PD.PeakRespAPerW *= s.RespFactor
+	coupling := d.Fiber.CouplingLossDB(d.SpotDiameterM, d.LateralOffsetM)
+	// Crosstalk: fiber core coupling plus misalignment leakage into the
+	// neighbour, combined in linear power.
+	xt := combineDB(
+		d.Fiber.AdjacentCrosstalkDB(lengthM),
+		d.Fiber.MisalignedNeighborLeakDB(d.SpotDiameterM, d.LateralOffsetM, d.ChannelPitchM),
+	)
+	return channel.OpticalParams{
+		TxPowerW:          d.LED.OpticalPower(i) / 2 * s.EQEFactor, // OOK average
+		TxBandwidthHz:     d.LED.Bandwidth(i) * s.BandwidthFactor,
+		WavelengthM:       d.LED.WavelengthM,
+		RINdBHz:           d.LED.RINdBHz,
+		ExtinctionRatioDB: d.ExtinctionRatioDB,
+		PathLossDB:        coupling*2 + d.Fiber.AttenuationDB(lengthM),
+		MediumBWHz:        d.Fiber.ModalBandwidth(lengthM),
+		CrosstalkDB:       xt,
+		Rx:                rx,
+		BitRate:           d.ChannelRate,
+		Modulation:        d.Modulation,
+	}
+}
+
+// combineDB adds two relative power levels given in dB (e.g. two crosstalk
+// contributions), returning the dB of the linear sum. -Inf inputs are
+// transparent.
+func combineDB(a, b float64) float64 {
+	sum := math.Pow(10, a/10) + math.Pow(10, b/10)
+	if sum <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(sum)
+}

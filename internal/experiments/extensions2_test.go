@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func pct(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("bad percentage %q", s)
+	}
+	return v
+}
+
+func TestE18WaterfallShape(t *testing.T) {
+	tab, err := E18Waterfall(1)
+	render(t, tab, err)
+	// Each column must be non-increasing in BER, and FEC columns must
+	// dominate the unprotected column everywhere.
+	for col := 1; col <= 4; col++ {
+		prev := 101.0
+		for i := range tab.Rows {
+			v := pct(t, cell(tab, i, col))
+			if v > prev+5 { // allow small statistical wiggle
+				t.Fatalf("col %d not roughly monotone at row %d", col, i)
+			}
+			prev = v
+		}
+	}
+	for i := range tab.Rows {
+		raw := pct(t, cell(tab, i, 1))
+		for col := 2; col <= 4; col++ {
+			if pct(t, cell(tab, i, col)) < raw-5 {
+				t.Fatalf("FEC column %d below unprotected at row %d", col, i)
+			}
+		}
+	}
+	// At 1e-5, unprotected visibly suffers while every FEC is perfect.
+	for i := range tab.Rows {
+		if cell(tab, i, 0) == "1.00e-05" {
+			if pct(t, cell(tab, i, 1)) > 95 {
+				t.Error("unprotected at 1e-5 should lose frames")
+			}
+			if pct(t, cell(tab, i, 3)) != 100 {
+				t.Error("rslite at 1e-5 should be perfect")
+			}
+		}
+	}
+}
+
+func TestE20TCO(t *testing.T) {
+	tab, err := E20FleetTCO()
+	render(t, tab, err)
+	tco := map[string]map[string]float64{}
+	for i := range tab.Rows {
+		fabric, plan := cell(tab, i, 0), cell(tab, i, 1)
+		if tco[fabric] == nil {
+			tco[fabric] = map[string]float64{}
+		}
+		tco[fabric][plan] = cellF(t, tab, i, 4)
+	}
+	for fabric, plans := range tco {
+		// All-optics must be the most expensive everywhere.
+		if !(plans["mosaic"] < plans["all-optics"]) ||
+			!(plans["DAC+optics"] < plans["all-optics"]) {
+			t.Errorf("%s: all-optics should be costliest: %v", fabric, plans)
+		}
+		for plan, v := range plans {
+			if v <= 0 {
+				t.Errorf("%s/%s: nonpositive TCO", fabric, plan)
+			}
+		}
+	}
+}
+
+func TestE21Maintenance(t *testing.T) {
+	tab, err := E21PredictiveMaintenance(1)
+	render(t, tab, err)
+	last := tab.Rows[len(tab.Rows)-1]
+	proLost, _ := strconv.Atoi(last[1])
+	reaLost, _ := strconv.Atoi(last[3])
+	if proLost != 0 {
+		t.Errorf("proactive link lost %d frames", proLost)
+	}
+	if reaLost <= proLost {
+		t.Errorf("reactive link should pay in frames: %d vs %d", reaLost, proLost)
+	}
+	// Proactive replacement must happen before the BER gets dangerous.
+	for i := range tab.Rows {
+		if cell(tab, i, 0) == "1.00e-05" && cell(tab, i, 2) != "replaced" {
+			t.Error("proactive link should replace at 1e-5")
+		}
+	}
+}
+
+func TestE19OpticsShape(t *testing.T) {
+	tab, err := E19OpticsBudget()
+	render(t, tab, err)
+	reach := map[string]float64{}
+	for i := range tab.Rows {
+		name := cell(tab, i, 0)
+		if cell(tab, i, 3) == "unbuildable" {
+			continue
+		}
+		reach[name] = cellF(t, tab, i, 3)
+	}
+	nominal := reach["nominal (NA 0.5, beamed 3x)"]
+	if nominal < 40 {
+		t.Errorf("nominal optics reach = %v", nominal)
+	}
+	// Losing the beaming or the lens NA must cost serious reach.
+	if !(reach["plain Lambertian emitter"] < nominal-10) {
+		t.Errorf("Lambertian reach %v should be well below nominal %v",
+			reach["plain Lambertian emitter"], nominal)
+	}
+	if !(reach["cheap lens (NA 0.3)"] < nominal-10) {
+		t.Errorf("cheap lens reach %v should be well below nominal %v",
+			reach["cheap lens (NA 0.3)"], nominal)
+	}
+	// Defocus to 200 µm must remain essentially free (the tolerance claim).
+	if d := reach["defocus 200 um"]; d < nominal-3 {
+		t.Errorf("200um defocus reach = %v vs nominal %v", d, nominal)
+	}
+}

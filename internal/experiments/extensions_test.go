@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestE13Thermal(t *testing.T) {
+	tab, err := E13Temperature()
+	render(t, tab, err)
+	// At 340K+ the DFB must be dark while the LED penalty stays < 2 dB.
+	for i := range tab.Rows {
+		temp := cellF(t, tab, i, 0)
+		if temp == 340 {
+			if cell(tab, i, 3) != "inf(dark)" {
+				t.Errorf("DFB at 340K should be dark, got %s", cell(tab, i, 3))
+			}
+			if led := cellF(t, tab, i, 1); led > 2 {
+				t.Errorf("LED penalty at 340K = %v dB", led)
+			}
+		}
+	}
+	// LED penalty monotone in temperature.
+	prev := -1.0
+	for i := range tab.Rows {
+		led := cellF(t, tab, i, 1)
+		if led < prev {
+			t.Fatal("LED penalty not monotone")
+		}
+		prev = led
+	}
+}
+
+func TestE14LatencyShape(t *testing.T) {
+	tab, err := E14Latency()
+	render(t, tab, err)
+	var dac, dsp, mosaicSmall, mosaicBig float64
+	for i := range tab.Rows {
+		name := cell(tab, i, 0)
+		total := cellF(t, tab, i, 4)
+		switch {
+		case strings.HasPrefix(name, "DAC"):
+			dac = total
+		case strings.HasPrefix(name, "DR/AOC"):
+			dsp = total
+		case name == "Mosaic unit=63B":
+			mosaicSmall = total
+		case name == "Mosaic unit=495B":
+			mosaicBig = total
+		}
+	}
+	if !(dac < dsp && dsp < mosaicBig) {
+		t.Errorf("latency ordering: dac %v dsp %v mosaicBig %v", dac, dsp, mosaicBig)
+	}
+	if !(mosaicSmall < mosaicBig) {
+		t.Error("smaller units should cut Mosaic latency")
+	}
+	// Small-unit Mosaic within ~3x of DSP optics (the knob works).
+	if mosaicSmall > dsp*3 {
+		t.Errorf("small-unit Mosaic %v too far above DSP %v", mosaicSmall, dsp)
+	}
+}
+
+func TestE15CostCrossovers(t *testing.T) {
+	tab, err := E15Cost()
+	render(t, tab, err)
+	for i := range tab.Rows {
+		l := cellF(t, tab, i, 0)
+		cheapest := cell(tab, i, 7)
+		switch {
+		case l <= 2:
+			if cheapest != "DAC" {
+				t.Errorf("at %vm cheapest = %s, want DAC", l, cheapest)
+			}
+		case l <= 50:
+			if cheapest != "Mosaic" {
+				t.Errorf("at %vm cheapest = %s, want Mosaic", l, cheapest)
+			}
+		default:
+			if cheapest == "Mosaic" || cheapest == "DAC" {
+				t.Errorf("at %vm cheapest = %s, want conventional optics", l, cheapest)
+			}
+		}
+		// DAC must be n/a beyond its reach.
+		if l > 2.5 && cell(tab, i, 1) != "n/a" {
+			t.Errorf("DAC at %vm should be n/a", l)
+		}
+	}
+}
+
+func TestE16BlastRadius(t *testing.T) {
+	tab, err := E16BlastRadius(1)
+	render(t, tab, err)
+	conv, mosaic := tab.Rows[0], tab.Rows[1]
+	// Both healthy columns must be full delivery.
+	if conv[1] != "100/100" || mosaic[1] != "100/100" {
+		t.Fatalf("healthy runs not clean: %v / %v", conv[1], mosaic[1])
+	}
+	// One death: conventional collapses, Mosaic barely notices.
+	if conv[2] != "0/100" {
+		t.Errorf("conventional after death = %s, want total collapse", conv[2])
+	}
+	var got int
+	if _, err := fmt.Sscanf(mosaic[2], "%d/100", &got); err != nil || got < 95 {
+		t.Errorf("mosaic after death = %s, want >=95/100", mosaic[2])
+	}
+	// Repair: both deliver again, but only Mosaic at full rate.
+	if !strings.Contains(conv[3], "700G") || !strings.Contains(mosaic[3], "800G") {
+		t.Errorf("repair annotations wrong: %q / %q", conv[3], mosaic[3])
+	}
+}
+
+func TestE17Equalization(t *testing.T) {
+	tab, err := E17Equalization()
+	render(t, tab, err)
+	taps := map[string]string{}
+	for _, r := range tab.Rows {
+		taps[r[0]] = r[3]
+	}
+	if taps["Mosaic 2G NRZ (LED+RX)"] != "0" {
+		t.Errorf("Mosaic taps = %s, want 0", taps["Mosaic 2G NRZ (LED+RX)"])
+	}
+	if taps["copper 2m @53Gbaud"] == "0" {
+		t.Error("112G copper should need an equalizer")
+	}
+	// Equalizer burden grows with copper length.
+	t1, _ := strconv.Atoi(taps["copper 1m @53Gbaud"])
+	t3, _ := strconv.Atoi(taps["copper 3m @53Gbaud"])
+	if !(t3 >= t1) {
+		t.Errorf("taps should grow with length: 1m=%d 3m=%d", t1, t3)
+	}
+}
+
+func TestA5ModulationShape(t *testing.T) {
+	tab, err := A5Modulation()
+	render(t, tab, err)
+	reach := func(name string) float64 {
+		for i := range tab.Rows {
+			if cell(tab, i, 0) == name {
+				v, err := strconv.ParseFloat(cell(tab, i, 5), 64)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return v
+			}
+		}
+		t.Fatalf("missing row %s", name)
+		return 0
+	}
+	nrz2, pam4, nrz4 := reach("NRZ 2G"), reach("PAM4 4G"), reach("NRZ 4G")
+	if !(nrz2 > nrz4 && nrz4 > pam4) {
+		t.Errorf("reach ordering: nrz2 %v nrz4 %v pam4 %v", nrz2, nrz4, pam4)
+	}
+	// PAM4's eye penalty should cost well over 15 m of reach vs NRZ at the
+	// same symbol rate... (4G PAM4 = 2Gbaud, same as 2G NRZ).
+	if nrz2-pam4 < 15 {
+		t.Errorf("PAM4 reach penalty only %v m", nrz2-pam4)
+	}
+}

@@ -1,0 +1,67 @@
+package fiber
+
+import (
+	"errors"
+	"math"
+)
+
+// Conventional models a standard telecom fiber (the optical-baseline
+// medium): OM4 laser-optimised multimode for VCSEL AOCs, or G.652
+// single-mode for DR/FR modules.
+type Conventional struct {
+	Name          string
+	AttenDBPerM   float64 // attenuation, dB/m (telecom figures are dB/km)
+	ModalBWLenHzM float64 // effective modal bandwidth·length, Hz·m (Inf for SMF)
+	ConnectorDB   float64 // per-connector loss, dB
+	SingleMode    bool
+}
+
+// OM4 returns laser-optimised 50 µm multimode fiber at 850 nm.
+func OM4() Conventional {
+	return Conventional{
+		Name:          "OM4",
+		AttenDBPerM:   2.3e-3,        // 2.3 dB/km
+		ModalBWLenHzM: 4700e6 * 1000, // 4700 MHz·km EMB
+		ConnectorDB:   0.3,
+	}
+}
+
+// SMF returns G.652 single-mode fiber at 1310 nm.
+func SMF() Conventional {
+	return Conventional{
+		Name:          "SMF-28",
+		AttenDBPerM:   0.35e-3, // 0.35 dB/km at 1310
+		ModalBWLenHzM: math.Inf(1),
+		ConnectorDB:   0.25,
+		SingleMode:    true,
+	}
+}
+
+// Validate reports whether the parameters are meaningful.
+func (c Conventional) Validate() error {
+	if c.AttenDBPerM < 0 || c.ConnectorDB < 0 {
+		return errors.New("fiber: negative loss")
+	}
+	if c.ModalBWLenHzM <= 0 {
+		return errors.New("fiber: bandwidth-length product must be positive")
+	}
+	return nil
+}
+
+// AttenuationDB returns end-to-end loss in dB over length metres including
+// one connector at each end.
+func (c Conventional) AttenuationDB(lengthM float64) float64 {
+	if lengthM <= 0 {
+		return 2 * c.ConnectorDB
+	}
+	return c.AttenDBPerM*lengthM + 2*c.ConnectorDB
+}
+
+// ModalBandwidth returns the modal-dispersion-limited bandwidth (Hz) over
+// the given length (infinite for single-mode fiber).
+func (c Conventional) ModalBandwidth(lengthM float64) float64 {
+	if math.IsInf(c.ModalBWLenHzM, 1) || lengthM <= 0 {
+		return math.Inf(1)
+	}
+	return c.ModalBWLenHzM / lengthM
+}

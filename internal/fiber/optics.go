@@ -1,0 +1,119 @@
+package fiber
+
+import (
+	"errors"
+	"math"
+)
+
+// ImagingOptics models the lens system that images the microLED array onto
+// the fiber facet (and the facet onto the photodiode array at the far
+// end). It closes the loop between device geometry and the channel spot:
+// the spot diameter is the LED diameter times the magnification, blurred
+// by defocus; the lens NA sets how much of the LED's Lambertian emission
+// is captured; and the image-side NA must fit inside the fiber's NA.
+type ImagingOptics struct {
+	// Magnification is image size over object size (e.g. 10 images a 4 µm
+	// LED onto a 40 µm spot).
+	Magnification float64
+	// LensNA is the object-side numerical aperture: the cone captured from
+	// the emitter.
+	LensNA float64
+	// TransmissionDB is the bulk loss of the lens train (AR-coated
+	// surfaces, apertures), in dB (positive).
+	TransmissionDB float64
+	// DefocusM is the axial misalignment of the facet from the image
+	// plane, metres.
+	DefocusM float64
+	// DirectionalityGain reflects emitter beaming: comms microLEDs carry
+	// on-chip microlenses or resonant cavities that concentrate emission
+	// toward the axis, multiplying the fraction captured inside the lens
+	// NA relative to a Lambertian source. 1 = plain Lambertian.
+	DirectionalityGain float64
+}
+
+// DefaultOptics returns the prototype-class imaging train: 10x
+// magnification, NA 0.5 capture, 0.6 dB of bulk loss, perfectly focused.
+func DefaultOptics() ImagingOptics {
+	return ImagingOptics{
+		Magnification:      10,
+		LensNA:             0.5,
+		TransmissionDB:     0.6,
+		DirectionalityGain: 3, // cavity/microlensed emitter
+	}
+}
+
+// Validate reports whether the optics are physical.
+func (o ImagingOptics) Validate() error {
+	switch {
+	case o.Magnification <= 0:
+		return errors.New("fiber: magnification must be positive")
+	case o.LensNA <= 0 || o.LensNA >= 1:
+		return errors.New("fiber: lens NA must be in (0,1)")
+	case o.TransmissionDB < 0:
+		return errors.New("fiber: negative lens loss")
+	case o.DefocusM < 0:
+		return errors.New("fiber: defocus is a magnitude (>= 0)")
+	case o.DirectionalityGain < 1:
+		return errors.New("fiber: directionality gain must be >= 1 (1 = Lambertian)")
+	}
+	return nil
+}
+
+// ImageNA returns the image-side numerical aperture: LensNA/Magnification
+// (Abbe sine condition, small-NA form).
+func (o ImagingOptics) ImageNA() float64 {
+	return o.LensNA / o.Magnification
+}
+
+// SpotDiameterM returns the spot diameter on the facet for an emitter of
+// the given diameter: geometric image ⊕ defocus blur, root-sum-square.
+// The defocus blur diameter is 2·z·tanθ with sinθ = image NA.
+func (o ImagingOptics) SpotDiameterM(emitterDiameterM float64) float64 {
+	if emitterDiameterM <= 0 {
+		return 0
+	}
+	img := emitterDiameterM * o.Magnification
+	na := o.ImageNA()
+	if na >= 1 {
+		na = 0.999
+	}
+	tan := na / math.Sqrt(1-na*na)
+	blur := 2 * o.DefocusM * tan
+	return math.Sqrt(img*img + blur*blur)
+}
+
+// CaptureLossDB returns the loss from collecting only the lens NA out of
+// the emitter's output: a Lambertian source yields a captured fraction of
+// NA², boosted by the emitter's directionality gain and capped at 1.
+func (o ImagingOptics) CaptureLossDB() float64 {
+	g := o.DirectionalityGain
+	if g < 1 {
+		g = 1
+	}
+	frac := o.LensNA * o.LensNA * g
+	if frac >= 1 {
+		return 0
+	}
+	if frac <= 0 {
+		return math.Inf(1)
+	}
+	return -10 * math.Log10(frac)
+}
+
+// NAMismatchLossDB returns the loss when the image-side cone exceeds the
+// fiber's acceptance NA: the fiber keeps (fiberNA/imageNA)² of the power.
+// A cone inside the fiber NA loses nothing.
+func (o ImagingOptics) NAMismatchLossDB(fiberNA float64) float64 {
+	img := o.ImageNA()
+	if img <= fiberNA || img <= 0 {
+		return 0
+	}
+	frac := (fiberNA / img) * (fiberNA / img)
+	return -10 * math.Log10(frac)
+}
+
+// TotalInsertionDB returns capture + NA mismatch + bulk transmission loss
+// for this optics train into the given fiber.
+func (o ImagingOptics) TotalInsertionDB(fiberNA float64) float64 {
+	return o.CaptureLossDB() + o.NAMismatchLossDB(fiberNA) + o.TransmissionDB
+}

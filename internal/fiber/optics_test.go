@@ -1,0 +1,113 @@
+package fiber
+
+import (
+	"math"
+	"testing"
+
+	"mosaic/internal/units"
+)
+
+func TestDefaultOpticsValid(t *testing.T) {
+	if err := DefaultOptics().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpticsValidateRejects(t *testing.T) {
+	cases := []func(*ImagingOptics){
+		func(o *ImagingOptics) { o.Magnification = 0 },
+		func(o *ImagingOptics) { o.LensNA = 0 },
+		func(o *ImagingOptics) { o.LensNA = 1 },
+		func(o *ImagingOptics) { o.TransmissionDB = -1 },
+		func(o *ImagingOptics) { o.DefocusM = -1e-6 },
+	}
+	for i, mutate := range cases {
+		o := DefaultOptics()
+		mutate(&o)
+		if o.Validate() == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestSpotFromMagnification(t *testing.T) {
+	o := DefaultOptics()
+	// 4 µm LED through 10x: exactly 40 µm when focused.
+	if got := o.SpotDiameterM(4e-6); !units.ApproxEqual(got, 40e-6, 1e-9) {
+		t.Errorf("spot = %v", got)
+	}
+	if o.SpotDiameterM(0) != 0 {
+		t.Error("no emitter, no spot")
+	}
+}
+
+func TestDefocusGrowsSpot(t *testing.T) {
+	o := DefaultOptics()
+	focused := o.SpotDiameterM(4e-6)
+	o.DefocusM = 200e-6
+	blurred := o.SpotDiameterM(4e-6)
+	if !(blurred > focused) {
+		t.Errorf("defocus should blur: %v vs %v", focused, blurred)
+	}
+	// RSS composition: blur at 200 µm with image NA 0.05 ≈ 20 µm,
+	// so spot ≈ sqrt(40² + 20²) ≈ 44.7 µm.
+	if blurred < 42e-6 || blurred > 48e-6 {
+		t.Errorf("blurred spot = %v, want ~44.7um", blurred)
+	}
+}
+
+func TestCaptureLoss(t *testing.T) {
+	o := DefaultOptics() // NA 0.5 with 3x beaming: captures 75% -> 1.25 dB
+	if got := o.CaptureLossDB(); math.Abs(got-1.2494) > 0.01 {
+		t.Errorf("capture loss = %v", got)
+	}
+	// A plain Lambertian emitter through the same lens: 25% -> 6.02 dB.
+	o.DirectionalityGain = 1
+	if got := o.CaptureLossDB(); math.Abs(got-6.0206) > 0.01 {
+		t.Errorf("Lambertian capture loss = %v", got)
+	}
+	o.LensNA = 0.999999
+	if got := o.CaptureLossDB(); got > 0.001 {
+		t.Errorf("full NA should be lossless, got %v", got)
+	}
+}
+
+func TestDirectionalityValidation(t *testing.T) {
+	o := DefaultOptics()
+	o.DirectionalityGain = 0.5
+	if o.Validate() == nil {
+		t.Error("sub-Lambertian gain accepted")
+	}
+}
+
+func TestNAMismatch(t *testing.T) {
+	o := DefaultOptics() // image NA = 0.05
+	// Fiber NA 0.39 >> 0.05: no mismatch.
+	if got := o.NAMismatchLossDB(0.39); got != 0 {
+		t.Errorf("mismatch loss = %v, want 0", got)
+	}
+	// A low-mag train (image NA 0.25) into NA 0.1 fiber loses.
+	o.Magnification = 2
+	if got := o.NAMismatchLossDB(0.1); got <= 0 {
+		t.Errorf("overfilled fiber should lose, got %v", got)
+	}
+}
+
+func TestTotalInsertion(t *testing.T) {
+	o := DefaultOptics()
+	f := DefaultImagingFiber()
+	total := o.TotalInsertionDB(f.NA)
+	want := o.CaptureLossDB() + o.TransmissionDB // no NA mismatch here
+	if !units.ApproxEqual(total, want, 1e-9) {
+		t.Errorf("total = %v, want %v", total, want)
+	}
+}
+
+func TestOpticsConsistentWithDefaultDesignSpot(t *testing.T) {
+	// The default optics imaging the default 4 µm LED must produce the
+	// 40 µm spot the Design assumes.
+	o := DefaultOptics()
+	if got := o.SpotDiameterM(4e-6); math.Abs(got-40e-6) > 1e-9 {
+		t.Errorf("optics produce %v spot; Design assumes 40um", got)
+	}
+}

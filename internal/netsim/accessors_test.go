@@ -1,0 +1,53 @@
+package netsim
+
+import (
+	"testing"
+
+	"mosaic/internal/sim"
+)
+
+func TestLinksByTier(t *testing.T) {
+	topo := mustTree(t, 4)
+	byTier := topo.LinksByTier()
+	if len(byTier[TierHostToR]) != 16 {
+		t.Errorf("host links = %d", len(byTier[TierHostToR]))
+	}
+	if len(byTier[TierToRAgg]) != 16 || len(byTier[TierAggCore]) != 16 {
+		t.Errorf("fabric links = %d/%d", len(byTier[TierToRAgg]), len(byTier[TierAggCore]))
+	}
+	total := 0
+	for _, ids := range byTier {
+		total += len(ids)
+	}
+	if total != len(topo.Links) {
+		t.Error("partition incomplete")
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	topo := mustTree(t, 4)
+	h := topo.Hosts()[0]
+	if n := topo.neighbors(h); len(n) != 1 {
+		t.Errorf("host neighbors = %d, want 1", len(n))
+	}
+}
+
+func TestActiveFlows(t *testing.T) {
+	topo := mustTree(t, 4)
+	eng := sim.NewEngine(1)
+	fs := NewFlowSim(topo, eng)
+	h := topo.Hosts()
+	if fs.ActiveFlows() != 0 {
+		t.Error("fresh sim has flows")
+	}
+	if _, err := fs.StartFlow(h[0], h[1], 1e9, 0); err != nil {
+		t.Fatal(err)
+	}
+	if fs.ActiveFlows() != 1 {
+		t.Errorf("active = %d", fs.ActiveFlows())
+	}
+	eng.Run()
+	if fs.ActiveFlows() != 0 {
+		t.Error("flows remain after completion")
+	}
+}

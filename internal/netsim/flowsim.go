@@ -1,0 +1,331 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"mosaic/internal/sim"
+)
+
+// Flow is one transfer in the fluid flow model.
+type Flow struct {
+	ID       int
+	Src, Dst int
+	SizeBits float64
+	Path     []int // link IDs
+	Hash     uint64
+
+	remaining float64
+	rate      float64
+	start     sim.Time
+	lastTouch sim.Time
+}
+
+// FlowRecord is a completed (or abandoned) flow.
+type FlowRecord struct {
+	ID       int
+	SizeBits float64
+	Start    sim.Time
+	End      sim.Time
+	Stalled  bool // true if the flow could never finish (no route)
+}
+
+// FCT returns the flow completion time.
+func (r FlowRecord) FCT() sim.Time { return r.End - r.Start }
+
+// FlowSim is a max-min fair fluid flow simulator over a Topology, driven
+// by a discrete-event engine. Rates are recomputed on every arrival,
+// completion, or capacity change; the next completion is scheduled exactly.
+type FlowSim struct {
+	Topo   *Topology
+	Engine *sim.Engine
+
+	capacity []float64 // current capacity per link (bps)
+	active   map[int]*Flow
+	nextID   int
+	records  []FlowRecord
+
+	pendingCompletion sim.Canceler
+}
+
+// NewFlowSim builds a simulator over the topology with each link at its
+// nominal rate.
+func NewFlowSim(t *Topology, engine *sim.Engine) *FlowSim {
+	fs := &FlowSim{
+		Topo:     t,
+		Engine:   engine,
+		capacity: make([]float64, len(t.Links)),
+		active:   make(map[int]*Flow),
+	}
+	for i, l := range t.Links {
+		fs.capacity[i] = l.RateBps
+	}
+	return fs
+}
+
+// LinkCapacity returns the current capacity of a link.
+func (fs *FlowSim) LinkCapacity(linkID int) float64 { return fs.capacity[linkID] }
+
+// ActiveFlows returns the number of in-flight flows.
+func (fs *FlowSim) ActiveFlows() int { return len(fs.active) }
+
+// Records returns completed/stalled flow records.
+func (fs *FlowSim) Records() []FlowRecord { return fs.records }
+
+// StartFlow injects a flow now. It picks the ECMP path from the hash and
+// returns the flow ID.
+func (fs *FlowSim) StartFlow(src, dst int, sizeBits float64, hash uint64) (int, error) {
+	if sizeBits <= 0 {
+		return 0, errors.New("netsim: flow size must be positive")
+	}
+	path, err := fs.routeAvoidingDead(src, dst, hash)
+	if err != nil {
+		return 0, err
+	}
+	id := fs.nextID
+	fs.nextID++
+	f := &Flow{
+		ID: id, Src: src, Dst: dst, SizeBits: sizeBits,
+		Path: path, Hash: hash,
+		remaining: sizeBits,
+		start:     fs.Engine.Now(),
+		lastTouch: fs.Engine.Now(),
+	}
+	fs.active[id] = f
+	fs.reschedule()
+	return id, nil
+}
+
+// routeAvoidingDead retries ECMP hashes until the path avoids dead links.
+func (fs *FlowSim) routeAvoidingDead(src, dst int, hash uint64) ([]int, error) {
+	var lastErr error
+	for attempt := uint64(0); attempt < 64; attempt++ {
+		path, err := fs.Topo.Path(src, dst, hash+attempt*0x9e3779b9)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		ok := true
+		for _, l := range path {
+			if fs.capacity[l] <= 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return path, nil
+		}
+		lastErr = fmt.Errorf("netsim: path through dead link")
+	}
+	return nil, fmt.Errorf("netsim: no live path from %d to %d: %w", src, dst, lastErr)
+}
+
+// SetLinkCapacityFraction scales a link to frac of its nominal rate
+// (graceful degradation: a Mosaic link that lost channels). frac=0 kills
+// the link and reroutes affected flows.
+func (fs *FlowSim) SetLinkCapacityFraction(linkID int, frac float64) {
+	if linkID < 0 || linkID >= len(fs.capacity) {
+		return
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	fs.capacity[linkID] = fs.Topo.Links[linkID].RateBps * frac
+	if frac == 0 {
+		fs.rerouteThrough(linkID)
+	}
+	fs.reschedule()
+}
+
+// FailLink kills a link entirely (optics-style link-down) and reroutes.
+func (fs *FlowSim) FailLink(linkID int) { fs.SetLinkCapacityFraction(linkID, 0) }
+
+// RestoreLink returns a link to full capacity.
+func (fs *FlowSim) RestoreLink(linkID int) { fs.SetLinkCapacityFraction(linkID, 1) }
+
+// rerouteThrough re-paths all active flows crossing the (now dead) link.
+// Flows with no remaining live path are recorded as stalled and dropped.
+func (fs *FlowSim) rerouteThrough(linkID int) {
+	for id, f := range fs.active {
+		crosses := false
+		for _, l := range f.Path {
+			if l == linkID {
+				crosses = true
+				break
+			}
+		}
+		if !crosses {
+			continue
+		}
+		fs.settle(f)
+		path, err := fs.routeAvoidingDead(f.Src, f.Dst, f.Hash+1)
+		if err != nil {
+			fs.records = append(fs.records, FlowRecord{
+				ID: f.ID, SizeBits: f.SizeBits, Start: f.start,
+				End: fs.Engine.Now(), Stalled: true,
+			})
+			delete(fs.active, id)
+			continue
+		}
+		f.Path = path
+	}
+}
+
+// settle progresses a flow's remaining bits to the current instant.
+func (fs *FlowSim) settle(f *Flow) {
+	elapsed := float64(fs.Engine.Now() - f.lastTouch)
+	if elapsed > 0 && f.rate > 0 {
+		f.remaining -= f.rate * elapsed
+		if f.remaining < 0 {
+			f.remaining = 0
+		}
+	}
+	f.lastTouch = fs.Engine.Now()
+}
+
+// recomputeRates performs progressive-filling max-min fairness.
+func (fs *FlowSim) recomputeRates() {
+	for _, f := range fs.active {
+		fs.settle(f)
+		f.rate = 0
+	}
+	if len(fs.active) == 0 {
+		return
+	}
+	remCap := make([]float64, len(fs.capacity))
+	copy(remCap, fs.capacity)
+	flowsOn := make([]int, len(fs.capacity)) // unfrozen flows per link
+	unfrozen := make(map[int]*Flow, len(fs.active))
+	for id, f := range fs.active {
+		unfrozen[id] = f
+		for _, l := range f.Path {
+			flowsOn[l]++
+		}
+	}
+	for len(unfrozen) > 0 {
+		// Find the bottleneck link: minimal fair share among links with
+		// unfrozen flows.
+		bottleneck := -1
+		best := math.Inf(1)
+		for l := range remCap {
+			if flowsOn[l] == 0 {
+				continue
+			}
+			fair := remCap[l] / float64(flowsOn[l])
+			if fair < best {
+				best = fair
+				bottleneck = l
+			}
+		}
+		if bottleneck < 0 {
+			break
+		}
+		// Freeze every unfrozen flow crossing the bottleneck at `best`.
+		for id, f := range unfrozen {
+			crosses := false
+			for _, l := range f.Path {
+				if l == bottleneck {
+					crosses = true
+					break
+				}
+			}
+			if !crosses {
+				continue
+			}
+			f.rate = best
+			for _, l := range f.Path {
+				remCap[l] -= best
+				if remCap[l] < 0 {
+					remCap[l] = 0
+				}
+				flowsOn[l]--
+			}
+			delete(unfrozen, id)
+		}
+	}
+}
+
+// reschedule recomputes rates and schedules the next completion event.
+func (fs *FlowSim) reschedule() {
+	if fs.pendingCompletion != nil {
+		fs.pendingCompletion()
+		fs.pendingCompletion = nil
+	}
+	fs.recomputeRates()
+	// Earliest completion.
+	var next *Flow
+	nextAt := sim.Time(math.Inf(1))
+	for _, f := range fs.active {
+		if f.rate <= 0 {
+			continue
+		}
+		at := fs.Engine.Now() + sim.Time(f.remaining/f.rate)
+		if at < nextAt {
+			nextAt = at
+			next = f
+		}
+	}
+	if next == nil {
+		return
+	}
+	id := next.ID
+	fs.pendingCompletion = fs.Engine.Schedule(nextAt, func() {
+		fs.pendingCompletion = nil
+		f, ok := fs.active[id]
+		if !ok {
+			fs.reschedule()
+			return
+		}
+		fs.settle(f)
+		fs.records = append(fs.records, FlowRecord{
+			ID: f.ID, SizeBits: f.SizeBits, Start: f.start, End: fs.Engine.Now(),
+		})
+		delete(fs.active, id)
+		fs.reschedule()
+	})
+}
+
+// FCTStats summarises completion times.
+type FCTStats struct {
+	Count   int
+	Stalled int
+	Mean    sim.Time
+	P50     sim.Time
+	P99     sim.Time
+	Max     sim.Time
+}
+
+// Stats computes FCT statistics over completed (non-stalled) records.
+func Stats(records []FlowRecord) FCTStats {
+	var st FCTStats
+	var fcts []float64
+	var sum float64
+	for _, r := range records {
+		if r.Stalled {
+			st.Stalled++
+			continue
+		}
+		f := float64(r.FCT())
+		fcts = append(fcts, f)
+		sum += f
+	}
+	st.Count = len(fcts)
+	if st.Count == 0 {
+		return st
+	}
+	sort.Float64s(fcts)
+	st.Mean = sim.Time(sum / float64(st.Count))
+	st.P50 = sim.Time(fcts[st.Count/2])
+	st.P99 = sim.Time(fcts[min(st.Count-1, st.Count*99/100)])
+	st.Max = sim.Time(fcts[st.Count-1])
+	return st
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,91 @@
+package photonics
+
+import "math"
+
+// Temperature behaviour. A large part of the reliability and deployment
+// story is thermal: lasers live near their maximum ratings inside hot
+// pluggables (threshold current grows exponentially with temperature,
+// efficiency collapses, wear-out accelerates), while LEDs — with no
+// threshold and display-industry thermal margins — barely notice the same
+// excursion. These models let the experiments sweep case temperature.
+
+// ReferenceTempK is the temperature the base device parameters describe.
+const ReferenceTempK = 300.0
+
+// AtTemperature returns a copy of the microLED derated to junction
+// temperature tK. Physics: the radiative coefficient falls as T^(-3/2),
+// Shockley-Read-Hall recombination is thermally activated (grows with T),
+// and Auger grows mildly. Efficiency therefore sags gently and roughly
+// linearly over the datacenter range — no cliff.
+func (m MicroLED) AtTemperature(tK float64) MicroLED {
+	if tK <= 0 {
+		return m
+	}
+	r := tK / ReferenceTempK
+	out := m
+	out.B = m.B * math.Pow(r, -1.5)
+	out.A = m.A * math.Pow(r, 2) // surface/SRH activation, mild power law
+	out.C = m.C * math.Pow(r, 0.5)
+	return out
+}
+
+// ThresholdT0K is the characteristic temperature of laser threshold
+// growth: Ith(T) = Ith(300K)·exp((T-300)/T0). Datacom VCSELs sit near
+// 120 K; 1310 nm DFBs nearer 60 K (which is why DR modules run coolers).
+const (
+	VCSELThresholdT0K = 120.0
+	DFBThresholdT0K   = 60.0
+)
+
+// AtTemperature returns a copy of the laser at junction temperature tK:
+// the threshold rises exponentially with its characteristic T0 and the
+// operating-point derating in OpticalPower sees the new temperature.
+func (l Laser) AtTemperature(tK float64) Laser {
+	if tK <= 0 {
+		return l
+	}
+	t0 := VCSELThresholdT0K
+	if l.WavelengthM > 1e-6 {
+		t0 = DFBThresholdT0K
+	}
+	out := l
+	out.ThresholdA = l.ThresholdA * math.Exp((tK-ReferenceTempK)/t0)
+	out.OperatingTempK = tK
+	return out
+}
+
+// PowerPenaltyDB returns the optical power penalty (dB) of running the
+// device at temperature tK instead of the reference, at the same drive
+// current. Positive means less light.
+func (m MicroLED) PowerPenaltyDB(i, tK float64) float64 {
+	ref := m.OpticalPower(i)
+	hot := m.AtTemperature(tK).OpticalPower(i)
+	if hot <= 0 || ref <= 0 {
+		return math.Inf(1)
+	}
+	return -10 * math.Log10(hot/ref)
+}
+
+// PowerPenaltyDB is the laser equivalent: same drive current, hotter
+// junction. When the threshold crosses the drive current the laser emits
+// nothing and the penalty is infinite — the laser "cliff".
+func (l Laser) PowerPenaltyDB(i, tK float64) float64 {
+	ref := l.OpticalPower(i)
+	hot := l.AtTemperature(tK).OpticalPower(i)
+	if hot <= 0 || ref <= 0 {
+		return math.Inf(1)
+	}
+	return -10 * math.Log10(hot/ref)
+}
+
+// AccelerationFactor returns the Arrhenius wear-out acceleration of a
+// device at temperature tK relative to the reference, with activation
+// energy eaEV (typical 0.7 eV for laser facet/junction wear-out, similar
+// for LEDs but from a ~100x lower base FIT).
+func AccelerationFactor(eaEV, tK float64) float64 {
+	if tK <= 0 {
+		return math.Inf(1)
+	}
+	const kBeV = 8.617333262e-5 // Boltzmann in eV/K
+	return math.Exp(eaEV / kBeV * (1/ReferenceTempK - 1/tK))
+}

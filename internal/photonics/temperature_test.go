@@ -1,0 +1,106 @@
+package photonics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMicroLEDTemperatureSag(t *testing.T) {
+	m := DefaultMicroLED()
+	i := m.NominalCurrent()
+	p300 := m.OpticalPower(i)
+	p340 := m.AtTemperature(340).OpticalPower(i)
+	p380 := m.AtTemperature(380).OpticalPower(i)
+	if !(p340 < p300 && p380 < p340) {
+		t.Fatalf("LED power should sag with temperature: %v %v %v", p300, p340, p380)
+	}
+	// But gently: under 3 dB at 380 K (the "no cliff" property).
+	if pen := m.PowerPenaltyDB(i, 380); pen > 3 {
+		t.Errorf("LED penalty at 380K = %v dB, want < 3", pen)
+	}
+}
+
+func TestLaserTemperatureCliff(t *testing.T) {
+	l := VCSEL850()
+	i := 4e-3 // a typical bias
+	pen340 := l.PowerPenaltyDB(i, 340)
+	pen400 := l.PowerPenaltyDB(i, 400)
+	if !(pen400 > pen340) {
+		t.Fatalf("laser penalty should grow: %v -> %v", pen340, pen400)
+	}
+	// Push far enough and the threshold eats the whole drive: infinite
+	// penalty (no light).
+	if !math.IsInf(l.PowerPenaltyDB(1.2*l.ThresholdA, 420), 1) {
+		t.Error("laser near threshold should go dark when hot")
+	}
+}
+
+func TestLEDBeatsLaserThermally(t *testing.T) {
+	// The motivating comparison: at the same +60K excursion, the LED loses
+	// far less light than the laser.
+	led := DefaultMicroLED()
+	laser := VCSEL850()
+	ledPen := led.PowerPenaltyDB(led.NominalCurrent(), 360)
+	laserPen := laser.PowerPenaltyDB(2e-3, 360) // modest bias, where it hurts
+	if !(ledPen < laserPen) {
+		t.Errorf("LED penalty %v dB should be below laser %v dB", ledPen, laserPen)
+	}
+}
+
+func TestDFBWorseThanVCSEL(t *testing.T) {
+	// DFBs have a lower T0: same excursion, bigger threshold growth.
+	v := VCSEL850().AtTemperature(360)
+	d := DFB1310().AtTemperature(360)
+	vGrowth := v.ThresholdA / VCSEL850().ThresholdA
+	dGrowth := d.ThresholdA / DFB1310().ThresholdA
+	if !(dGrowth > vGrowth) {
+		t.Errorf("DFB threshold growth %v should exceed VCSEL %v", dGrowth, vGrowth)
+	}
+}
+
+func TestAtTemperatureGuards(t *testing.T) {
+	m := DefaultMicroLED()
+	if m.AtTemperature(0).B != m.B {
+		t.Error("nonpositive temperature should be identity")
+	}
+	l := VCSEL850()
+	if l.AtTemperature(-5).ThresholdA != l.ThresholdA {
+		t.Error("nonpositive temperature should be identity")
+	}
+}
+
+func TestReferenceTempIdentityApprox(t *testing.T) {
+	m := DefaultMicroLED()
+	i := m.NominalCurrent()
+	if pen := m.PowerPenaltyDB(i, ReferenceTempK); math.Abs(pen) > 1e-9 {
+		t.Errorf("penalty at reference temp = %v, want 0", pen)
+	}
+}
+
+func TestAccelerationFactor(t *testing.T) {
+	if got := AccelerationFactor(0.7, ReferenceTempK); math.Abs(got-1) > 1e-12 {
+		t.Errorf("acceleration at reference = %v", got)
+	}
+	a330 := AccelerationFactor(0.7, 330)
+	a360 := AccelerationFactor(0.7, 360)
+	if !(a330 > 1 && a360 > a330) {
+		t.Errorf("acceleration should grow: %v %v", a330, a360)
+	}
+	// 0.7 eV, +30K: roughly an order of magnitude.
+	if a330 < 5 || a330 > 30 {
+		t.Errorf("acceleration at 330K = %v, want ~10", a330)
+	}
+	if !math.IsInf(AccelerationFactor(0.7, 0), 1) {
+		t.Error("zero temperature should be infinite")
+	}
+}
+
+func TestLEDBandwidthAtTemperature(t *testing.T) {
+	// Hotter device: faster SRH shortens the lifetime, so the LED actually
+	// gets a little faster while losing efficiency — a known LED trait.
+	m := DefaultMicroLED()
+	i := m.NominalCurrent()
+	if !(m.AtTemperature(370).Bandwidth(i) >= m.Bandwidth(i)*0.9) {
+		t.Error("hot LED bandwidth should not collapse")
+	}
+}

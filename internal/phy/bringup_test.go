@@ -1,0 +1,182 @@
+package phy
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestProbeChannelClean(t *testing.T) {
+	link, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, corr := link.ProbeChannel(5, 10)
+	if ok != 10 || corr != 0 {
+		t.Fatalf("clean probe: ok=%d corr=%d", ok, corr)
+	}
+}
+
+func TestProbeChannelDead(t *testing.T) {
+	link, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	link.KillChannel(9)
+	ok, _ := link.ProbeChannel(9, 10)
+	if ok != 0 {
+		t.Fatalf("dead probe returned %d frames", ok)
+	}
+}
+
+func TestProbeChannelNoisy(t *testing.T) {
+	link, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	link.SetChannelBER(3, 1e-5)
+	ok, corr := link.ProbeChannel(3, 50)
+	if ok < 45 {
+		t.Fatalf("noisy-but-correctable probe lost too much: %d/50", ok)
+	}
+	if corr == 0 {
+		t.Error("corrections should be visible at 1e-5 over ~14KB")
+	}
+}
+
+func TestProbeChannelBounds(t *testing.T) {
+	link, _ := New(DefaultConfig())
+	if ok, _ := link.ProbeChannel(-1, 5); ok != 0 {
+		t.Error("negative channel probed")
+	}
+	if ok, _ := link.ProbeChannel(9999, 5); ok != 0 {
+		t.Error("out-of-range channel probed")
+	}
+	if ok, _ := link.ProbeChannel(0, 0); ok != 0 {
+		t.Error("zero-count probe returned frames")
+	}
+}
+
+func TestBringupCleanLink(t *testing.T) {
+	link, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := link.Bringup(8)
+	if rep.State != StateUp {
+		t.Fatalf("clean link state = %v", rep.State)
+	}
+	if rep.Probed != 104 || len(rep.DeadChannels) != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Lanes != 100 || rep.SparesLeft != 4 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if !strings.Contains(rep.String(), "up") {
+		t.Error("report string missing state")
+	}
+}
+
+func TestBringupSparesOutDead(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Lanes = 20
+	cfg.Spares = 3
+	link, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link.KillChannel(4)
+	link.KillChannel(11)
+	link.KillChannel(21) // a spare is dead too
+	rep := link.Bringup(8)
+	if rep.State != StateUp {
+		t.Fatalf("state = %v; two data deaths + one dead spare fit in 3 spares", rep.State)
+	}
+	if len(rep.DeadChannels) != 3 {
+		t.Fatalf("dead = %v", rep.DeadChannels)
+	}
+	if rep.Lanes != 20 {
+		t.Fatalf("lanes = %d", rep.Lanes)
+	}
+	if rep.SparesLeft != 0 {
+		t.Fatalf("spares left = %d", rep.SparesLeft)
+	}
+	// Traffic must now be clean.
+	rng := rand.New(rand.NewSource(1))
+	frames := make([][]byte, 20)
+	for i := range frames {
+		frames[i] = make([]byte, 1000)
+		rng.Read(frames[i])
+	}
+	_, st, err := link.Exchange(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FramesDelivered != 20 {
+		t.Fatalf("post-bringup traffic lost frames: %+v", st)
+	}
+}
+
+func TestBringupDegrades(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Lanes = 10
+	cfg.Spares = 1
+	link, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link.KillChannel(0)
+	link.KillChannel(1)
+	link.KillChannel(2)
+	rep := link.Bringup(8)
+	if rep.State != StateDegraded {
+		t.Fatalf("state = %v, want degraded", rep.State)
+	}
+	if rep.Lanes != 8 { // 10 - (3 dead - 1 spare)
+		t.Fatalf("lanes = %d, want 8", rep.Lanes)
+	}
+}
+
+func TestBringupTotalLoss(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Lanes = 3
+	cfg.Spares = 0
+	link, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 3; p++ {
+		link.KillChannel(p)
+	}
+	rep := link.Bringup(8)
+	if rep.State != StateDown {
+		t.Fatalf("state = %v, want down", rep.State)
+	}
+}
+
+func TestBringupIdempotent(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Lanes = 10
+	cfg.Spares = 2
+	link, _ := New(cfg)
+	link.KillChannel(5)
+	first := link.Bringup(8)
+	second := link.Bringup(8)
+	if len(second.DeadChannels) != 0 {
+		t.Fatalf("second bringup re-failed channels: %v", second.DeadChannels)
+	}
+	if second.Probed >= first.Probed {
+		t.Error("second bringup should skip failed channels")
+	}
+	if second.State != StateUp {
+		t.Errorf("state = %v", second.State)
+	}
+}
+
+func TestLinkStateStrings(t *testing.T) {
+	for _, s := range []LinkState{StateDown, StateProbing, StateUp, StateDegraded, LinkState(9)} {
+		if s.String() == "" {
+			t.Error("empty state name")
+		}
+	}
+}

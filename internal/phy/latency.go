@@ -1,0 +1,69 @@
+package phy
+
+import "fmt"
+
+// Latency accounting. Wide-and-slow has a latency trade-off that deserves
+// honesty: a 2 Gbps channel accumulates a 243-byte stripe unit in ~1 µs,
+// where a 100 Gbps lane fills the same buffer 50× faster — but the
+// conventional lane then pays the PAM4 DSP and the KP4 block (5440 bits
+// must land before decoding starts) plus its decode pipeline. The unit
+// size is the knob (ablation A3): small units cut latency and goodput
+// together.
+
+// LatencyBudget itemises the one-way PHY latency of a link configuration,
+// in nanoseconds.
+type LatencyBudget struct {
+	SerializationNs float64 // accumulating one stripe unit on a channel
+	FECNs           float64 // decode pipeline of the chosen FEC
+	DeskewNs        float64 // reassembly buffer depth
+	GearboxNs       float64 // striping/framing logic
+}
+
+// TotalNs sums the components.
+func (l LatencyBudget) TotalNs() float64 {
+	return l.SerializationNs + l.FECNs + l.DeskewNs + l.GearboxNs
+}
+
+// String renders the budget.
+func (l LatencyBudget) String() string {
+	return fmt.Sprintf("total %.0fns (serialize %.0f, fec %.0f, deskew %.0f, gearbox %.0f)",
+		l.TotalNs(), l.SerializationNs, l.FECNs, l.DeskewNs, l.GearboxNs)
+}
+
+// fecDecodeLatencyNs estimates the decode-pipeline latency of a FEC scheme
+// (block accumulation is accounted in serialization, since the channel
+// frame contains whole blocks).
+func fecDecodeLatencyNs(f FEC) float64 {
+	switch r := f.(type) {
+	case NoFEC:
+		return 0
+	case HammingFEC:
+		return 4 // XOR trees, one pipeline stage
+	case *RSFEC:
+		// Syndrome + BM + Chien scale with n and t; coarse pipeline model.
+		n := float64(r.code.N())
+		t := float64(r.code.T())
+		return 10 + n*0.08 + t*6
+	default:
+		return 20
+	}
+}
+
+// LatencyBudget returns the one-way PHY latency of this link at its
+// configured unit size, FEC, and worst observed skew.
+func (l *Link) LatencyBudget() LatencyBudget {
+	bitTime := 1 / l.cfg.PerChannelBitRate
+	unitBits := float64(l.framer.WireLen()) * 8
+	maxSkew := 0
+	for _, ch := range l.channels {
+		if ch.SkewBytes > maxSkew {
+			maxSkew = ch.SkewBytes
+		}
+	}
+	return LatencyBudget{
+		SerializationNs: unitBits * bitTime * 1e9,
+		FECNs:           fecDecodeLatencyNs(l.cfg.FEC),
+		DeskewNs:        float64(maxSkew*8) * bitTime * 1e9,
+		GearboxNs:       15, // striping + framing pipeline stages
+	}
+}

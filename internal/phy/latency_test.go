@@ -1,0 +1,94 @@
+package phy
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLatencyBudgetComponents(t *testing.T) {
+	link, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := link.LatencyBudget()
+	if lb.SerializationNs <= 0 || lb.GearboxNs <= 0 {
+		t.Fatalf("budget = %+v", lb)
+	}
+	// 243 B unit + framing at 2 Gbps: about 1.1 µs of serialization.
+	if lb.SerializationNs < 800 || lb.SerializationNs > 1500 {
+		t.Errorf("serialization = %v ns, want ~1.1us", lb.SerializationNs)
+	}
+	if lb.TotalNs() < lb.SerializationNs {
+		t.Error("total below a component")
+	}
+	if !strings.Contains(lb.String(), "total") {
+		t.Error("missing summary")
+	}
+}
+
+func TestLatencyShrinksWithSmallerUnits(t *testing.T) {
+	small := DefaultConfig()
+	small.UnitLen = 63
+	big := DefaultConfig()
+	big.UnitLen = 495
+	ls, err := New(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := New(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ls.LatencyBudget().SerializationNs < lb.LatencyBudget().SerializationNs) {
+		t.Error("smaller units should serialize faster")
+	}
+	// ...but cost goodput: the A3 trade-off, visible from latency's side.
+	if !(ls.GoodputFraction() < lb.GoodputFraction()) {
+		t.Error("smaller units should cost goodput")
+	}
+}
+
+func TestLatencyGrowsWithSkew(t *testing.T) {
+	link, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := link.LatencyBudget().TotalNs()
+	link.SetChannelSkew(5, 100)
+	if !(link.LatencyBudget().TotalNs() > base) {
+		t.Error("skew should add deskew latency")
+	}
+}
+
+func TestFECLatencyOrdering(t *testing.T) {
+	if fecDecodeLatencyNs(NoFEC{}) != 0 {
+		t.Error("no FEC should be free")
+	}
+	h := fecDecodeLatencyNs(HammingFEC{})
+	lite := fecDecodeLatencyNs(NewRSLite())
+	kp4 := fecDecodeLatencyNs(NewRSKP4())
+	if !(h < lite && lite < kp4) {
+		t.Errorf("latency ordering broken: hamming %v, rslite %v, kp4 %v", h, lite, kp4)
+	}
+	// KP4 decode pipeline: the ~150ns class.
+	if kp4 < 50 || kp4 > 500 {
+		t.Errorf("kp4 latency = %v ns", kp4)
+	}
+}
+
+func TestFasterChannelsSerializeFaster(t *testing.T) {
+	slow := DefaultConfig()
+	fast := DefaultConfig()
+	fast.PerChannelBitRate = 10e9
+	ls, err := New(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lf, err := New(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(lf.LatencyBudget().SerializationNs < ls.LatencyBudget().SerializationNs) {
+		t.Error("faster channels should fill units faster")
+	}
+}

@@ -1,0 +1,371 @@
+package phy
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+	"sync"
+
+	"mosaic/internal/coding/linecode"
+)
+
+// Config describes a Mosaic PHY instance.
+type Config struct {
+	Lanes   int // active logical lanes (e.g. 100 for the prototype)
+	Spares  int // spare physical channels
+	FEC     FEC // per-channel FEC (NoFEC, HammingFEC, RS-lite, KP4)
+	UnitLen int // stripe unit / channel-frame payload, bytes; multiple of 9
+	// PerChannelBitRate is the per-channel line rate in bit/s (2e9 for the
+	// paper's operating point); used for throughput/latency accounting.
+	PerChannelBitRate float64
+	Seed              int64
+}
+
+// DefaultConfig returns the paper's prototype configuration: 100 channels
+// at 2 Gbps with 4 spares and the light RS FEC.
+func DefaultConfig() Config {
+	return Config{
+		Lanes:             100,
+		Spares:            4,
+		FEC:               NewRSLite(),
+		UnitLen:           243, // 27 64b/66b blocks; body (252B) fills RS-lite blocks efficiently
+		PerChannelBitRate: 2e9,
+		Seed:              1,
+	}
+}
+
+// ConventionalConfig returns the narrow-and-fast architecture expressed in
+// the same framework: 8 lanes at 106.25 Gbps with KP4 FEC and no spares —
+// an 800G DR8/AOC-style link. Comparing it against DefaultConfig isolates
+// the architectural difference (width and sparing) from implementation
+// details, since both run the identical pipeline.
+func ConventionalConfig() Config {
+	return Config{
+		Lanes:             8,
+		Spares:            0,
+		FEC:               NewRSKP4(),
+		UnitLen:           243,
+		PerChannelBitRate: 106.25e9,
+		Seed:              1,
+	}
+}
+
+// scramblerSeed is the spec constant both ends use; the descrambler would
+// self-synchronize from any state, but a fixed seed makes the first 58 bits
+// exact too.
+const scramblerSeed = 0x2a5f3c19d4b7e
+
+// Link is a bit-true Mosaic PHY endpoint pair connected by simulated noisy
+// channels: Exchange pushes frames through TX logic, the per-channel BSCs,
+// and RX logic. It is the executable equivalent of the paper's 100-channel
+// prototype.
+type Link struct {
+	cfg      Config
+	framer   *Framer
+	mapper   *Mapper
+	monitor  *Monitor
+	channels []*BSC // indexed by physical channel
+}
+
+// New builds a link. The channels start error-free; use SetChannelBER (or
+// the core package, which derives BERs from the analog models).
+func New(cfg Config) (*Link, error) {
+	if cfg.Lanes <= 0 {
+		return nil, errors.New("phy: need at least one lane")
+	}
+	if cfg.FEC == nil {
+		cfg.FEC = NoFEC{}
+	}
+	if cfg.UnitLen <= 0 {
+		cfg.UnitLen = 243
+	}
+	if cfg.UnitLen%9 != 0 {
+		return nil, fmt.Errorf("phy: UnitLen %d must be a multiple of 9 (one 64b/66b block)", cfg.UnitLen)
+	}
+	mapper, err := NewMapper(cfg.Lanes, cfg.Spares)
+	if err != nil {
+		return nil, err
+	}
+	l := &Link{
+		cfg:     cfg,
+		framer:  NewFramer(cfg.FEC, cfg.UnitLen),
+		mapper:  mapper,
+		monitor: NewMonitor(cfg.Lanes+cfg.Spares, DefaultMonitorConfig()),
+	}
+	l.channels = make([]*BSC, cfg.Lanes+cfg.Spares)
+	for i := range l.channels {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+		l.channels[i] = NewBSC(0, rng)
+	}
+	return l, nil
+}
+
+// Config returns the link configuration.
+func (l *Link) Config() Config { return l.cfg }
+
+// Mapper exposes the lane mapper (read-mostly; failures should go through
+// FailChannel).
+func (l *Link) Mapper() *Mapper { return l.mapper }
+
+// Monitor exposes channel health.
+func (l *Link) Monitor() *Monitor { return l.monitor }
+
+// SetChannelBER sets the bit error rate of a physical channel.
+func (l *Link) SetChannelBER(physical int, ber float64) {
+	if physical >= 0 && physical < len(l.channels) {
+		c := l.channels[physical]
+		if ber < 0 {
+			ber = 0
+		}
+		c.BER = ber
+	}
+}
+
+// SetChannelSkew sets the skew (random prefix bytes) of a physical channel.
+func (l *Link) SetChannelSkew(physical, bytes int) {
+	if physical >= 0 && physical < len(l.channels) && bytes >= 0 {
+		l.channels[physical].SkewBytes = bytes
+	}
+}
+
+// KillChannel makes a physical channel emit noise (transmitter death).
+// Traffic impact persists until FailChannel respares it.
+func (l *Link) KillChannel(physical int) {
+	if physical >= 0 && physical < len(l.channels) {
+		l.channels[physical].Dead = true
+	}
+}
+
+// FailChannel marks a channel failed in the monitor and remaps its lane to
+// a spare (or degrades). Returns the remap event.
+func (l *Link) FailChannel(physical int) RemapEvent {
+	l.monitor.MarkFailed(physical)
+	return l.mapper.Fail(physical)
+}
+
+// AggregateRate returns the current payload-agnostic aggregate line rate:
+// lanes × per-channel rate.
+func (l *Link) AggregateRate() float64 {
+	return float64(l.mapper.NumLanes()) * l.cfg.PerChannelBitRate
+}
+
+// GoodputFraction returns payload bits / wire bits: the combined framing,
+// FEC, and block-coding efficiency of the pipeline.
+func (l *Link) GoodputFraction() float64 {
+	// 64b/66b-as-bytes: 8 payload bytes per 9 stream bytes.
+	blockEff := 8.0 / 9.0
+	frameEff := float64(l.framer.PayloadLen()) / float64(l.framer.WireLen())
+	return blockEff * frameEff
+}
+
+// ExchangeStats aggregates one Exchange.
+type ExchangeStats struct {
+	FramesIn        int
+	FramesDelivered int
+	FramesLost      int // missing entirely
+	FramesCorrupted int // delivered region failed FCS
+	UnitsTotal      int
+	UnitsLost       int
+	Corrections     int
+	WireBytes       int
+	PayloadBytes    int
+	PerChannel      map[int]DecodeStats // by physical channel
+}
+
+// Exchange sends user frames through the full TX → channels → RX pipeline
+// and returns the frames the far end recovered plus statistics.
+// Frames must be at least 3 bytes (they gain a 4-byte FCS and must fill
+// the 7-byte start block).
+func (l *Link) Exchange(frames [][]byte) ([][]byte, ExchangeStats, error) {
+	var st ExchangeStats
+	st.FramesIn = len(frames)
+	st.PerChannel = make(map[int]DecodeStats)
+
+	// --- TX: frames -> blocks -> byte stream ---
+	var blocks []linecode.Block
+	for _, f := range frames {
+		if len(f) < 3 {
+			return nil, st, fmt.Errorf("phy: frame of %d bytes below minimum 3", len(f))
+		}
+		st.PayloadBytes += len(f)
+		withFCS := make([]byte, 0, len(f)+4)
+		withFCS = append(withFCS, f...)
+		var fcs [4]byte
+		binary.BigEndian.PutUint32(fcs[:], crc32.ChecksumIEEE(f))
+		withFCS = append(withFCS, fcs[:]...)
+		bs, err := linecode.FrameToBlocks(withFCS)
+		if err != nil {
+			return nil, st, err
+		}
+		blocks = append(blocks, bs...)
+		blocks = append(blocks, linecode.IdleBlock())
+	}
+	// Pad with idle blocks to a whole number of stripe units so the
+	// gearbox never has to invent fill bytes after scrambling.
+	unitBlocks := l.cfg.UnitLen / 9
+	for len(blocks)%unitBlocks != 0 {
+		blocks = append(blocks, linecode.IdleBlock())
+	}
+	stream := make([]byte, 0, 9*len(blocks))
+	for _, b := range blocks {
+		sync, payload, err := b.Encode()
+		if err != nil {
+			return nil, st, err
+		}
+		stream = append(stream, sync)
+		stream = append(stream, payload[:]...)
+	}
+
+	// --- Scramble ---
+	linecode.NewScrambler(scramblerSeed).Scramble(stream)
+
+	// --- Stripe across active lanes ---
+	lanes := l.mapper.NumLanes()
+	if lanes == 0 {
+		return nil, st, errors.New("phy: link is down (no active lanes)")
+	}
+	units := Stripe(stream, lanes, l.cfg.UnitLen)
+	totalUnits := (len(stream) + l.cfg.UnitLen - 1) / l.cfg.UnitLen
+	st.UnitsTotal = totalUnits
+
+	// --- Per-channel transmit + receive-decode, in parallel ---
+	type laneResult struct {
+		lane     int
+		physical int
+		frames   []ChannelFrame
+		stats    DecodeStats
+		expected int
+		wire     int
+	}
+	results := make([]laneResult, lanes)
+	var wg sync.WaitGroup
+	for lane := 0; lane < lanes; lane++ {
+		wg.Add(1)
+		go func(lane int) {
+			defer wg.Done()
+			physical := l.mapper.Physical(lane)
+			ch := l.channels[physical]
+			var wire []byte
+			for seq, unit := range units[lane] {
+				wire = append(wire, l.framer.Encode(lane, uint32(seq), unit)...)
+			}
+			received := ch.Transmit(wire)
+			frames, stats := l.framer.DecodeStream(received)
+			results[lane] = laneResult{
+				lane:     lane,
+				physical: physical,
+				frames:   frames,
+				stats:    stats,
+				expected: len(units[lane]),
+				wire:     len(wire),
+			}
+		}(lane)
+	}
+	wg.Wait()
+
+	// --- Fold results, reassemble units ---
+	rxUnits := make([][][]byte, lanes)
+	for lane := range rxUnits {
+		rxUnits[lane] = make([][]byte, len(units[lane]))
+	}
+	for _, r := range results {
+		st.WireBytes += r.wire
+		st.Corrections += r.stats.Corrections
+		st.PerChannel[r.physical] = r.stats
+		good := 0
+		for _, cf := range r.frames {
+			// Lane mismatches would indicate a miswired remap; drop them.
+			if cf.Lane != r.lane {
+				continue
+			}
+			if int(cf.Seq) < len(rxUnits[r.lane]) {
+				rxUnits[r.lane][cf.Seq] = cf.Payload
+				good++
+			}
+		}
+		l.monitor.Observe(r.physical, r.expected, good, r.stats.Corrections,
+			uint64(r.wire)*8)
+	}
+
+	rxStream, missing := Destripe(rxUnits, lanes, l.cfg.UnitLen, totalUnits)
+	st.UnitsLost = len(missing)
+
+	// --- Descramble & parse blocks back into frames ---
+	linecode.NewDescrambler(scramblerSeed).Descramble(rxStream)
+	delivered := parseFrames(rxStream, &st)
+	st.FramesDelivered = len(delivered)
+	st.FramesLost = st.FramesIn - st.FramesDelivered - st.FramesCorrupted
+	if st.FramesLost < 0 {
+		st.FramesLost = 0
+	}
+	return delivered, st, nil
+}
+
+// parseFrames walks the descrambled 9-byte block stream, reassembling
+// FCS-verified frames and resynchronizing after damage.
+func parseFrames(stream []byte, st *ExchangeStats) [][]byte {
+	var out [][]byte
+	var cur []byte
+	inFrame := false
+	for off := 0; off+9 <= len(stream); off += 9 {
+		sync := stream[off]
+		var payload [8]byte
+		copy(payload[:], stream[off+1:off+9])
+		blk, err := linecode.DecodeBlock(sync, payload)
+		if err != nil {
+			// Corrupted block: any frame in progress is damaged.
+			if inFrame {
+				st.FramesCorrupted++
+				inFrame = false
+				cur = nil
+			}
+			continue
+		}
+		switch blk.Kind {
+		case linecode.KindStart:
+			if inFrame {
+				st.FramesCorrupted++
+			}
+			cur = append(cur[:0], blk.Data[:7]...)
+			inFrame = true
+		case linecode.KindData:
+			if inFrame {
+				cur = append(cur, blk.Data[:]...)
+			}
+		case linecode.KindTerm:
+			if !inFrame {
+				continue
+			}
+			cur = append(cur, blk.Data[:blk.TermLen]...)
+			inFrame = false
+			if len(cur) < 4 {
+				st.FramesCorrupted++
+				cur = nil
+				continue
+			}
+			body := cur[:len(cur)-4]
+			want := binary.BigEndian.Uint32(cur[len(cur)-4:])
+			if crc32.ChecksumIEEE(body) == want {
+				frame := make([]byte, len(body))
+				copy(frame, body)
+				out = append(out, frame)
+			} else {
+				st.FramesCorrupted++
+			}
+			cur = nil
+		case linecode.KindIdle:
+			if inFrame {
+				// Idle inside a frame means we lost the terminate.
+				st.FramesCorrupted++
+				inFrame = false
+				cur = nil
+			}
+		}
+	}
+	if inFrame {
+		st.FramesCorrupted++
+	}
+	return out
+}

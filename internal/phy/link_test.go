@@ -1,0 +1,343 @@
+package phy
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func testFrames(rng *rand.Rand, n, size int) [][]byte {
+	frames := make([][]byte, n)
+	for i := range frames {
+		frames[i] = make([]byte, size)
+		rng.Read(frames[i])
+	}
+	return frames
+}
+
+func mustLink(t *testing.T, cfg Config) *Link {
+	t.Helper()
+	l, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestExchangeCleanChannels(t *testing.T) {
+	l := mustLink(t, DefaultConfig())
+	rng := rand.New(rand.NewSource(1))
+	frames := testFrames(rng, 20, 1500)
+	got, st, err := l.Exchange(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FramesDelivered != 20 || st.FramesCorrupted != 0 || st.UnitsLost != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	for i := range frames {
+		if !bytes.Equal(got[i], frames[i]) {
+			t.Fatalf("frame %d mismatch", i)
+		}
+	}
+}
+
+func TestExchangeVariousSizes(t *testing.T) {
+	l := mustLink(t, DefaultConfig())
+	rng := rand.New(rand.NewSource(2))
+	sizes := []int{3, 4, 7, 64, 65, 512, 1500, 9000}
+	frames := make([][]byte, len(sizes))
+	for i, s := range sizes {
+		frames[i] = make([]byte, s)
+		rng.Read(frames[i])
+	}
+	got, st, err := l.Exchange(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FramesDelivered != len(sizes) {
+		t.Fatalf("delivered %d of %d: %+v", st.FramesDelivered, len(sizes), st)
+	}
+	for i := range frames {
+		if !bytes.Equal(got[i], frames[i]) {
+			t.Fatalf("size %d mismatch", sizes[i])
+		}
+	}
+}
+
+func TestExchangeRejectsTinyFrame(t *testing.T) {
+	l := mustLink(t, DefaultConfig())
+	if _, _, err := l.Exchange([][]byte{{1, 2}}); err == nil {
+		t.Error("2-byte frame accepted")
+	}
+}
+
+func TestExchangeEmpty(t *testing.T) {
+	l := mustLink(t, DefaultConfig())
+	got, st, err := l.Exchange(nil)
+	if err != nil || len(got) != 0 || st.FramesDelivered != 0 {
+		t.Fatalf("empty exchange: %v %v %+v", got, err, st)
+	}
+}
+
+func TestExchangeWithModerateBER(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FEC = NewRSLite()
+	l := mustLink(t, cfg)
+	for p := 0; p < l.Mapper().NumChannels(); p++ {
+		l.SetChannelBER(p, 1e-6)
+	}
+	rng := rand.New(rand.NewSource(3))
+	frames := testFrames(rng, 100, 1500)
+	got, st, err := l.Exchange(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FramesDelivered < 99 {
+		t.Fatalf("FEC should carry 1e-6 BER easily: %+v", st)
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], frames[i]) {
+			t.Fatalf("frame %d mismatch", i)
+		}
+	}
+}
+
+func TestFECPreventsLossThatNoFECSuffers(t *testing.T) {
+	run := func(fec FEC) ExchangeStats {
+		cfg := DefaultConfig()
+		cfg.FEC = fec
+		cfg.Seed = 7
+		l, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := 0; p < l.Mapper().NumChannels(); p++ {
+			l.SetChannelBER(p, 3e-5)
+		}
+		rng := rand.New(rand.NewSource(4))
+		_, st, err := l.Exchange(testFrames(rng, 200, 1500))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	bare := run(NoFEC{})
+	coded := run(NewRSLite())
+	if bare.FramesDelivered >= 200 {
+		t.Skip("unprotected run had no losses; raise BER")
+	}
+	if coded.FramesDelivered <= bare.FramesDelivered {
+		t.Errorf("FEC did not help: %d vs %d delivered", coded.FramesDelivered, bare.FramesDelivered)
+	}
+	if coded.Corrections == 0 {
+		t.Error("no corrections recorded")
+	}
+}
+
+func TestExchangeSurvivesSkew(t *testing.T) {
+	l := mustLink(t, DefaultConfig())
+	rng := rand.New(rand.NewSource(5))
+	for p := 0; p < l.Mapper().NumChannels(); p++ {
+		l.SetChannelSkew(p, rng.Intn(50))
+	}
+	frames := testFrames(rng, 30, 1000)
+	got, st, err := l.Exchange(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FramesDelivered != 30 {
+		t.Fatalf("skew broke reassembly: %+v", st)
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], frames[i]) {
+			t.Fatal("frame mismatch under skew")
+		}
+	}
+}
+
+func TestDeadChannelDetectedAndSpared(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Lanes = 20
+	cfg.Spares = 2
+	l := mustLink(t, cfg)
+	rng := rand.New(rand.NewSource(6))
+
+	l.KillChannel(7)
+	_, st1, err := l.Exchange(testFrames(rng, 50, 1500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.UnitsLost == 0 {
+		t.Fatal("dead channel lost no units?")
+	}
+	if l.Monitor().Health(7).State != Failed {
+		t.Fatalf("monitor did not flag channel 7: %v", l.Monitor().Health(7).State)
+	}
+
+	// Spare it out; traffic must fully recover.
+	ev := l.FailChannel(7)
+	if ev.Spare != 20 {
+		t.Fatalf("remap event: %+v", ev)
+	}
+	frames := testFrames(rng, 50, 1500)
+	got, st2, err := l.Exchange(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.FramesDelivered != 50 || st2.UnitsLost != 0 {
+		t.Fatalf("after sparing: %+v", st2)
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], frames[i]) {
+			t.Fatal("frame mismatch after sparing")
+		}
+	}
+}
+
+func TestGracefulDegradationWithoutSpares(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Lanes = 10
+	cfg.Spares = 0
+	l := mustLink(t, cfg)
+	rate0 := l.AggregateRate()
+
+	l.KillChannel(3)
+	ev := l.FailChannel(3)
+	if !ev.Degraded {
+		t.Fatalf("expected degradation: %+v", ev)
+	}
+	if l.Mapper().NumLanes() != 9 {
+		t.Fatal("lane not removed")
+	}
+	if l.AggregateRate() >= rate0 {
+		t.Error("aggregate rate should drop")
+	}
+	// But the link still works.
+	rng := rand.New(rand.NewSource(7))
+	frames := testFrames(rng, 20, 1200)
+	got, st, err := l.Exchange(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FramesDelivered != 20 {
+		t.Fatalf("degraded link dropped frames: %+v", st)
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], frames[i]) {
+			t.Fatal("frame mismatch on degraded link")
+		}
+	}
+}
+
+func TestExchangeDeterministic(t *testing.T) {
+	run := func() ExchangeStats {
+		cfg := DefaultConfig()
+		cfg.Seed = 99
+		l, _ := New(cfg)
+		for p := 0; p < l.Mapper().NumChannels(); p++ {
+			l.SetChannelBER(p, 1e-5)
+		}
+		rng := rand.New(rand.NewSource(8))
+		_, st, err := l.Exchange(testFrames(rng, 50, 1500))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	a, b := run(), run()
+	if a.FramesDelivered != b.FramesDelivered || a.Corrections != b.Corrections ||
+		a.UnitsLost != b.UnitsLost {
+		t.Errorf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestGoodputFraction(t *testing.T) {
+	l := mustLink(t, DefaultConfig())
+	g := l.GoodputFraction()
+	if g <= 0.5 || g >= 1 {
+		t.Errorf("goodput fraction = %v, want (0.5,1)", g)
+	}
+	// Measured efficiency should be in the same ballpark as predicted.
+	rng := rand.New(rand.NewSource(9))
+	_, st, err := l.Exchange(testFrames(rng, 200, 1500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured := float64(st.PayloadBytes) / float64(st.WireBytes)
+	if measured < g*0.8 || measured > g*1.05 {
+		t.Errorf("measured efficiency %v vs predicted %v", measured, g)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.Lanes = 0
+	if _, err := New(bad); err == nil {
+		t.Error("zero lanes accepted")
+	}
+	bad = DefaultConfig()
+	bad.UnitLen = 10 // not multiple of 9
+	if _, err := New(bad); err == nil {
+		t.Error("misaligned UnitLen accepted")
+	}
+	// Defaults fill in.
+	cfg := Config{Lanes: 2}
+	l, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Config().UnitLen != 243 {
+		t.Error("UnitLen default not applied")
+	}
+}
+
+func TestFECByName(t *testing.T) {
+	for _, name := range []string{"none", "", "hamming72", "rslite", "kp4"} {
+		if _, err := FECByName(name); err != nil {
+			t.Errorf("%q: %v", name, err)
+		}
+	}
+	if _, err := FECByName("quantum"); err == nil {
+		t.Error("unknown FEC accepted")
+	}
+}
+
+func TestChannelStateString(t *testing.T) {
+	for _, s := range []ChannelState{Healthy, Degraded, Failed, ChannelState(9)} {
+		if s.String() == "" {
+			t.Error("empty state name")
+		}
+	}
+}
+
+func BenchmarkExchange100ch(b *testing.B) {
+	cfg := DefaultConfig()
+	l, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for p := 0; p < l.Mapper().NumChannels(); p++ {
+		l.SetChannelBER(p, 1e-9)
+	}
+	rng := rand.New(rand.NewSource(1))
+	frames := make([][]byte, 64)
+	total := 0
+	for i := range frames {
+		frames[i] = make([]byte, 1500)
+		rng.Read(frames[i])
+		total += 1500
+	}
+	b.SetBytes(int64(total))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, st, err := l.Exchange(frames)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.FramesDelivered != 64 {
+			b.Fatal(fmt.Sprintf("dropped frames: %+v", st))
+		}
+	}
+}

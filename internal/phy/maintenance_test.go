@@ -1,0 +1,153 @@
+package phy
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func maintFixture(t *testing.T) *Link {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Lanes = 20
+	cfg.Spares = 3
+	link, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return link
+}
+
+func trafficRounds(t *testing.T, link *Link, rounds int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(30))
+	frames := make([][]byte, 40)
+	for i := range frames {
+		frames[i] = make([]byte, 1500)
+		rng.Read(frames[i])
+	}
+	for r := 0; r < rounds; r++ {
+		if _, _, err := link.Exchange(frames); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMaintainHealthyLinkNoAction(t *testing.T) {
+	link := maintFixture(t)
+	trafficRounds(t, link, 3)
+	if actions := link.Maintain(DefaultMaintenancePolicy()); len(actions) != 0 {
+		t.Fatalf("healthy link got actions: %v", actions)
+	}
+}
+
+func TestMaintainSparesOutDriftingChannel(t *testing.T) {
+	link := maintFixture(t)
+	link.SetChannelBER(7, 3e-5) // drifting well past the 1e-6 policy line
+	trafficRounds(t, link, 5)
+	actions := link.Maintain(DefaultMaintenancePolicy())
+	if len(actions) != 1 {
+		t.Fatalf("actions = %v", actions)
+	}
+	if actions[0].Physical != 7 {
+		t.Errorf("spared channel %d, want 7", actions[0].Physical)
+	}
+	if actions[0].Event.Spare < 0 {
+		t.Error("no spare assigned")
+	}
+	if !strings.Contains(actions[0].String(), "proactive") {
+		t.Error("action string broken")
+	}
+	// Channel 7 no longer carries a lane.
+	if link.Mapper().LaneOf(7) != -1 {
+		t.Error("channel 7 still active")
+	}
+	// And the link still runs clean at full width.
+	trafficRounds(t, link, 1)
+	if link.Mapper().NumLanes() != 20 {
+		t.Error("lane count changed")
+	}
+}
+
+func TestMaintainRespectsReserve(t *testing.T) {
+	link := maintFixture(t) // 3 spares, KeepSpares 1
+	for _, p := range []int{2, 5, 9, 12} {
+		link.SetChannelBER(p, 1e-4)
+	}
+	trafficRounds(t, link, 5)
+	actions := link.Maintain(DefaultMaintenancePolicy())
+	// Only 2 proactive remaps allowed (3 spares - 1 reserved).
+	if len(actions) != 2 {
+		t.Fatalf("actions = %d, want 2: %v", len(actions), actions)
+	}
+	if link.Mapper().SparesLeft() != 1 {
+		t.Errorf("spares left = %d, want the reserve", link.Mapper().SparesLeft())
+	}
+}
+
+func TestMaintainWorstFirst(t *testing.T) {
+	link := maintFixture(t)
+	link.SetChannelBER(3, 1e-5)
+	link.SetChannelBER(8, 1e-4) // worse
+	trafficRounds(t, link, 5)
+	policy := DefaultMaintenancePolicy()
+	policy.KeepSpares = 2 // only one action possible
+	actions := link.Maintain(policy)
+	if len(actions) != 1 || actions[0].Physical != 8 {
+		t.Fatalf("actions = %v, want channel 8 first", actions)
+	}
+}
+
+func TestMaintainIdempotent(t *testing.T) {
+	link := maintFixture(t)
+	link.SetChannelBER(7, 1e-4)
+	trafficRounds(t, link, 5)
+	first := link.Maintain(DefaultMaintenancePolicy())
+	second := link.Maintain(DefaultMaintenancePolicy())
+	if len(first) != 1 || len(second) != 0 {
+		t.Fatalf("first=%v second=%v", first, second)
+	}
+}
+
+func TestMaintainDisabledPolicy(t *testing.T) {
+	link := maintFixture(t)
+	link.SetChannelBER(7, 1e-3)
+	trafficRounds(t, link, 2)
+	if actions := link.Maintain(MaintenancePolicy{}); actions != nil {
+		t.Error("zero policy should do nothing")
+	}
+}
+
+func TestMaintainAgingStory(t *testing.T) {
+	// The full predictive-maintenance story: a channel ages (BER climbs
+	// decade by decade); maintenance replaces it before the link ever
+	// loses a frame.
+	link := maintFixture(t)
+	rng := rand.New(rand.NewSource(31))
+	frames := make([][]byte, 30)
+	for i := range frames {
+		frames[i] = make([]byte, 1500)
+		rng.Read(frames[i])
+	}
+	lost := 0
+	for _, ber := range []float64{1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4} {
+		link.SetChannelBER(4, ber)
+		for r := 0; r < 3; r++ {
+			_, st, err := link.Exchange(frames)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lost += st.FramesIn - st.FramesDelivered
+		}
+		link.Maintain(DefaultMaintenancePolicy())
+		if link.Mapper().LaneOf(4) == -1 {
+			break // replaced
+		}
+	}
+	if link.Mapper().LaneOf(4) != -1 {
+		t.Fatal("aging channel never replaced")
+	}
+	if lost != 0 {
+		t.Errorf("lost %d frames during a graceful aging episode", lost)
+	}
+}

@@ -1,0 +1,152 @@
+package phy
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ChannelState is the health state of one physical channel.
+type ChannelState int
+
+// Health states.
+const (
+	Healthy  ChannelState = iota
+	Degraded              // correcting persistently, still delivering
+	Failed                // not delivering; must be spared out
+)
+
+// String names the state.
+func (s ChannelState) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Failed:
+		return "failed"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// MonitorConfig tunes the health classifier.
+type MonitorConfig struct {
+	// DegradedBER is the estimated pre-FEC BER above which a channel is
+	// declared degraded.
+	DegradedBER float64
+	// FailedLossRatio is the fraction of expected frames missing in an
+	// observation window above which the channel is declared failed.
+	FailedLossRatio float64
+}
+
+// DefaultMonitorConfig returns the thresholds used by the experiments.
+func DefaultMonitorConfig() MonitorConfig {
+	return MonitorConfig{DegradedBER: 1e-6, FailedLossRatio: 0.5}
+}
+
+// ChannelHealth aggregates one physical channel's observed statistics.
+type ChannelHealth struct {
+	Physical     int
+	FramesOK     uint64
+	FramesLost   uint64
+	Corrections  uint64
+	BitsObserved uint64
+	State        ChannelState
+}
+
+// EstimatedBER returns the pre-FEC BER estimate from FEC corrections.
+func (h ChannelHealth) EstimatedBER() float64 {
+	if h.BitsObserved == 0 {
+		return 0
+	}
+	return float64(h.Corrections) / float64(h.BitsObserved)
+}
+
+// Monitor tracks the health of every physical channel from the per-frame
+// statistics the framer reports. This is the observability layer a real
+// Mosaic module exposes to its sparing logic: per-channel corrected-error
+// counters are a free byproduct of FEC decoding.
+type Monitor struct {
+	cfg      MonitorConfig
+	channels []ChannelHealth
+}
+
+// NewMonitor creates a monitor over n physical channels.
+func NewMonitor(n int, cfg MonitorConfig) *Monitor {
+	m := &Monitor{cfg: cfg, channels: make([]ChannelHealth, n)}
+	for i := range m.channels {
+		m.channels[i].Physical = i
+	}
+	return m
+}
+
+// Observe folds one observation window for a physical channel: how many
+// frames were expected, how many arrived, how many errors were corrected,
+// and how many payload bits were checked.
+func (m *Monitor) Observe(physical, expectedFrames, gotFrames, corrections int, bits uint64) {
+	if physical < 0 || physical >= len(m.channels) {
+		return
+	}
+	h := &m.channels[physical]
+	h.FramesOK += uint64(gotFrames)
+	if expectedFrames > gotFrames {
+		h.FramesLost += uint64(expectedFrames - gotFrames)
+	}
+	h.Corrections += uint64(corrections)
+	h.BitsObserved += bits
+
+	// Classify using this window (loss) and lifetime (BER estimate).
+	switch {
+	case expectedFrames > 0 &&
+		float64(expectedFrames-gotFrames)/float64(expectedFrames) >= m.cfg.FailedLossRatio:
+		h.State = Failed
+	case h.State != Failed && h.EstimatedBER() > m.cfg.DegradedBER:
+		h.State = Degraded
+	case h.State == Degraded && h.EstimatedBER() <= m.cfg.DegradedBER:
+		h.State = Healthy
+	}
+}
+
+// MarkFailed forces a channel into the failed state (e.g. laser-off test
+// or an explicit kill in a failure-injection experiment).
+func (m *Monitor) MarkFailed(physical int) {
+	if physical >= 0 && physical < len(m.channels) {
+		m.channels[physical].State = Failed
+	}
+}
+
+// Health returns a copy of one channel's health.
+func (m *Monitor) Health(physical int) ChannelHealth {
+	return m.channels[physical]
+}
+
+// Snapshot returns a copy of all channels' health.
+func (m *Monitor) Snapshot() []ChannelHealth {
+	out := make([]ChannelHealth, len(m.channels))
+	copy(out, m.channels)
+	return out
+}
+
+// FailedChannels lists physical channels currently in the failed state.
+func (m *Monitor) FailedChannels() []int {
+	var out []int
+	for i := range m.channels {
+		if m.channels[i].State == Failed {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// WorstChannels returns the k channels with the highest estimated BER,
+// worst first.
+func (m *Monitor) WorstChannels(k int) []ChannelHealth {
+	snap := m.Snapshot()
+	sort.Slice(snap, func(i, j int) bool {
+		return snap[i].EstimatedBER() > snap[j].EstimatedBER()
+	})
+	if k > len(snap) {
+		k = len(snap)
+	}
+	return snap[:k]
+}

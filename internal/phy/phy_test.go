@@ -1,0 +1,397 @@
+package phy
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// --- BSC ---
+
+func TestBSCNoErrors(t *testing.T) {
+	c := NewBSC(0, rand.New(rand.NewSource(1)))
+	data := []byte("hello wide and slow world")
+	got := c.Transmit(data)
+	if !bytes.Equal(got, data) {
+		t.Fatal("error-free channel altered data")
+	}
+}
+
+func TestBSCDoesNotModifyInput(t *testing.T) {
+	c := NewBSC(0.1, rand.New(rand.NewSource(1)))
+	data := make([]byte, 1000)
+	snapshot := append([]byte(nil), data...)
+	c.Transmit(data)
+	if !bytes.Equal(data, snapshot) {
+		t.Fatal("Transmit modified its input")
+	}
+}
+
+func TestBSCErrorRate(t *testing.T) {
+	c := NewBSC(1e-3, rand.New(rand.NewSource(2)))
+	data := make([]byte, 1<<18) // 2 Mbit
+	flips := 0
+	for trial := 0; trial < 4; trial++ {
+		got := c.Transmit(data)
+		for i := range data {
+			x := got[i] ^ data[i]
+			for ; x != 0; x &= x - 1 {
+				flips++
+			}
+		}
+	}
+	nbits := float64(4 * len(data) * 8)
+	rate := float64(flips) / nbits
+	if rate < 0.8e-3 || rate > 1.2e-3 {
+		t.Errorf("measured BER %v, want ~1e-3", rate)
+	}
+}
+
+func TestBSCSkewPrefix(t *testing.T) {
+	c := NewBSC(0, rand.New(rand.NewSource(3)))
+	c.SkewBytes = 17
+	data := []byte("payload")
+	got := c.Transmit(data)
+	if len(got) != 17+len(data) {
+		t.Fatalf("length %d", len(got))
+	}
+	if !bytes.Equal(got[17:], data) {
+		t.Fatal("payload damaged after skew prefix")
+	}
+}
+
+func TestBSCDead(t *testing.T) {
+	c := NewBSC(0, rand.New(rand.NewSource(4)))
+	c.Dead = true
+	data := make([]byte, 1024)
+	got := c.Transmit(data)
+	same := 0
+	for i := range data {
+		if got[i] == data[i] {
+			same++
+		}
+	}
+	if same > len(data)/2 {
+		t.Error("dead channel should be noise, not data")
+	}
+}
+
+func TestBSCClamps(t *testing.T) {
+	if NewBSC(-1, rand.New(rand.NewSource(1))).BER != 0 {
+		t.Error("negative BER not clamped")
+	}
+	if NewBSC(0.9, rand.New(rand.NewSource(1))).BER != 0.5 {
+		t.Error("BER above 0.5 not clamped")
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, lambda := range []float64{0.5, 5, 200} {
+		sum := 0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			sum += poisson(rng, lambda)
+		}
+		mean := float64(sum) / n
+		if math.Abs(mean-lambda) > lambda*0.05+0.05 {
+			t.Errorf("poisson(%v) mean = %v", lambda, mean)
+		}
+	}
+	if poisson(rng, 0) != 0 || poisson(rng, -1) != 0 {
+		t.Error("nonpositive lambda should be 0")
+	}
+}
+
+// --- Gearbox ---
+
+func TestStripeDestripeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range []int{0, 1, 62, 63, 64, 1000, 6300} {
+		stream := make([]byte, n)
+		rng.Read(stream)
+		units := Stripe(stream, 10, 63)
+		total := (n + 62) / 63
+		got, missing := Destripe(units, 10, 63, total)
+		if len(missing) != 0 {
+			t.Fatalf("n=%d: unexpected missing %v", n, missing)
+		}
+		if !bytes.Equal(got[:n], stream) {
+			t.Fatalf("n=%d: round trip mismatch", n)
+		}
+	}
+}
+
+func TestDestripeReportsMissing(t *testing.T) {
+	stream := make([]byte, 63*10)
+	units := Stripe(stream, 5, 63)
+	units[2][1] = nil // kill global unit 2 + 1*5 = 7
+	_, missing := Destripe(units, 5, 63, 10)
+	if len(missing) != 1 || missing[0] != 7 {
+		t.Fatalf("missing = %v, want [7]", missing)
+	}
+}
+
+func TestStripeQuick(t *testing.T) {
+	prop := func(data []byte, rawLanes uint8) bool {
+		lanes := 1 + int(rawLanes)%16
+		units := Stripe(data, lanes, 9)
+		total := (len(data) + 8) / 9
+		got, missing := Destripe(units, lanes, 9, total)
+		return len(missing) == 0 && bytes.Equal(got[:len(data)], data)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStripePanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Stripe with zero lanes did not panic")
+		}
+	}()
+	Stripe(nil, 0, 9)
+}
+
+// --- Framer ---
+
+func TestFramerRoundTrip(t *testing.T) {
+	for _, fec := range []FEC{NoFEC{}, HammingFEC{}, NewRSLite()} {
+		f := NewFramer(fec, 63)
+		payload := make([]byte, 63)
+		for i := range payload {
+			payload[i] = byte(i * 3)
+		}
+		wire := f.Encode(5, 42, payload)
+		frames, st := f.DecodeStream(wire)
+		if len(frames) != 1 {
+			t.Fatalf("%s: got %d frames", fec.Name(), len(frames))
+		}
+		got := frames[0]
+		if got.Lane != 5 || got.Seq != 42 || !bytes.Equal(got.Payload, payload) {
+			t.Fatalf("%s: frame mismatch: %+v", fec.Name(), got)
+		}
+		if st.Frames != 1 || st.CRCFailures != 0 {
+			t.Errorf("%s: stats %+v", fec.Name(), st)
+		}
+	}
+}
+
+func TestFramerHuntsThroughSkew(t *testing.T) {
+	f := NewFramer(HammingFEC{}, 63)
+	payload := make([]byte, 63)
+	wire := f.Encode(1, 7, payload)
+	// Random garbage prefix, as a skewed channel would present.
+	rng := rand.New(rand.NewSource(7))
+	garbage := make([]byte, 200)
+	rng.Read(garbage)
+	stream := append(garbage, wire...)
+	frames, _ := f.DecodeStream(stream)
+	found := false
+	for _, fr := range frames {
+		if fr.Lane == 1 && fr.Seq == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("frame not recovered after skew garbage")
+	}
+}
+
+func TestFramerCorrectsWithFEC(t *testing.T) {
+	f := NewFramer(NewRSLite(), 63)
+	payload := make([]byte, 63)
+	wire := f.Encode(0, 0, payload)
+	wire[10] ^= 0xff // corrupt one byte inside the FEC region
+	frames, st := f.DecodeStream(wire)
+	if len(frames) != 1 {
+		t.Fatalf("FEC did not save the frame: %+v", st)
+	}
+	if st.Corrections == 0 {
+		t.Error("corrections not reported")
+	}
+}
+
+func TestFramerDropsOnNoFECCorruption(t *testing.T) {
+	f := NewFramer(NoFEC{}, 63)
+	payload := make([]byte, 63)
+	wire := f.Encode(0, 0, payload)
+	wire[10] ^= 0x01
+	frames, st := f.DecodeStream(wire)
+	if len(frames) != 0 {
+		t.Fatal("corrupted unprotected frame accepted")
+	}
+	if st.CRCFailures == 0 {
+		t.Error("CRC failure not counted")
+	}
+}
+
+func TestFramerMarkerCorruption(t *testing.T) {
+	f := NewFramer(HammingFEC{}, 63)
+	wire := f.Encode(0, 0, make([]byte, 63))
+	wire[0] ^= 0xff // destroy the marker
+	frames, _ := f.DecodeStream(wire)
+	if len(frames) != 0 {
+		t.Fatal("frame with destroyed marker recovered")
+	}
+}
+
+func TestFramerPayloadLenPanic(t *testing.T) {
+	f := NewFramer(NoFEC{}, 63)
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong payload length did not panic")
+		}
+	}()
+	f.Encode(0, 0, make([]byte, 10))
+}
+
+// --- Monitor ---
+
+func TestMonitorClassification(t *testing.T) {
+	m := NewMonitor(4, DefaultMonitorConfig())
+	// Channel 0: clean.
+	m.Observe(0, 100, 100, 0, 1e9)
+	if m.Health(0).State != Healthy {
+		t.Error("clean channel not healthy")
+	}
+	// Channel 1: high corrected-error rate -> degraded.
+	m.Observe(1, 100, 100, 5000, 1e6)
+	if m.Health(1).State != Degraded {
+		t.Errorf("noisy channel state = %v", m.Health(1).State)
+	}
+	// Channel 2: most frames missing -> failed.
+	m.Observe(2, 100, 10, 0, 1e6)
+	if m.Health(2).State != Failed {
+		t.Errorf("lossy channel state = %v", m.Health(2).State)
+	}
+	// Failed is sticky even if a later window looks fine.
+	m.Observe(2, 100, 100, 0, 1e6)
+	if m.Health(2).State != Failed {
+		t.Error("failed state should be sticky")
+	}
+}
+
+func TestMonitorRecovery(t *testing.T) {
+	m := NewMonitor(1, DefaultMonitorConfig())
+	m.Observe(0, 10, 10, 1000, 1e6) // degraded
+	if m.Health(0).State != Degraded {
+		t.Fatal("setup failed")
+	}
+	// Lots of clean traffic dilutes the estimate below threshold.
+	m.Observe(0, 1000, 1000, 0, 1e12)
+	if m.Health(0).State != Healthy {
+		t.Errorf("channel did not recover: %v", m.Health(0).State)
+	}
+}
+
+func TestMonitorBEREstimate(t *testing.T) {
+	m := NewMonitor(1, DefaultMonitorConfig())
+	m.Observe(0, 10, 10, 100, 1e8)
+	if got := m.Health(0).EstimatedBER(); math.Abs(got-1e-6) > 1e-12 {
+		t.Errorf("BER estimate = %v", got)
+	}
+	if (ChannelHealth{}).EstimatedBER() != 0 {
+		t.Error("zero observation should estimate 0")
+	}
+}
+
+func TestMonitorWorstChannels(t *testing.T) {
+	m := NewMonitor(3, DefaultMonitorConfig())
+	m.Observe(0, 1, 1, 10, 1e6)
+	m.Observe(1, 1, 1, 1000, 1e6)
+	m.Observe(2, 1, 1, 100, 1e6)
+	worst := m.WorstChannels(2)
+	if len(worst) != 2 || worst[0].Physical != 1 || worst[1].Physical != 2 {
+		t.Errorf("worst = %+v", worst)
+	}
+	if len(m.WorstChannels(10)) != 3 {
+		t.Error("k > n should clamp")
+	}
+}
+
+func TestMonitorBounds(t *testing.T) {
+	m := NewMonitor(2, DefaultMonitorConfig())
+	m.Observe(-1, 1, 1, 0, 1) // must not panic
+	m.Observe(5, 1, 1, 0, 1)
+	m.MarkFailed(5)
+	m.MarkFailed(1)
+	if got := m.FailedChannels(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("failed = %v", got)
+	}
+}
+
+// --- Mapper ---
+
+func TestMapperBasics(t *testing.T) {
+	m, err := NewMapper(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumLanes() != 4 || m.SparesLeft() != 2 || m.NumChannels() != 6 {
+		t.Fatal("initial shape wrong")
+	}
+	for lane := 0; lane < 4; lane++ {
+		if m.Physical(lane) != lane {
+			t.Fatal("identity map expected")
+		}
+	}
+	if m.LaneOf(4) != -1 {
+		t.Error("spare should have no lane")
+	}
+}
+
+func TestMapperFailRemapsToSpare(t *testing.T) {
+	m, _ := NewMapper(4, 2)
+	ev := m.Fail(2)
+	if ev.Lane != 2 || ev.Spare != 4 || ev.Degraded {
+		t.Fatalf("event = %+v", ev)
+	}
+	if m.Physical(2) != 4 || m.SparesLeft() != 1 || m.NumLanes() != 4 {
+		t.Fatal("remap state wrong")
+	}
+	if ev.String() == "" {
+		t.Error("empty event string")
+	}
+}
+
+func TestMapperFailSpare(t *testing.T) {
+	m, _ := NewMapper(4, 2)
+	ev := m.Fail(5) // a spare
+	if ev.Lane != -1 || m.SparesLeft() != 1 || m.NumLanes() != 4 {
+		t.Fatalf("spare failure mishandled: %+v", ev)
+	}
+}
+
+func TestMapperDegradesWhenSparesExhausted(t *testing.T) {
+	m, _ := NewMapper(3, 1)
+	m.Fail(0) // uses the spare
+	ev := m.Fail(1)
+	if !ev.Degraded || ev.Spare != -1 {
+		t.Fatalf("expected degradation: %+v", ev)
+	}
+	if m.NumLanes() != 2 {
+		t.Errorf("lanes = %d, want 2", m.NumLanes())
+	}
+}
+
+func TestMapperDoubleFailIdempotent(t *testing.T) {
+	m, _ := NewMapper(3, 1)
+	m.Fail(1)
+	ev := m.Fail(1)
+	if ev.Lane != -1 || ev.Spare != -1 {
+		t.Errorf("double fail should be a no-op: %+v", ev)
+	}
+}
+
+func TestMapperRejectsBadShape(t *testing.T) {
+	if _, err := NewMapper(0, 1); err == nil {
+		t.Error("zero lanes accepted")
+	}
+	if _, err := NewMapper(1, -1); err == nil {
+		t.Error("negative spares accepted")
+	}
+}

@@ -1,0 +1,158 @@
+package phy
+
+import (
+	"math/rand"
+	"testing"
+
+	"mosaic/internal/sim"
+)
+
+func streamFixture(t *testing.T, lanes, spares int) (*Stream, *sim.Engine) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Lanes = lanes
+	cfg.Spares = spares
+	link, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(1)
+	s, err := NewStream(link, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, eng
+}
+
+func TestNewStreamValidation(t *testing.T) {
+	if _, err := NewStream(nil, sim.NewEngine(1)); err == nil {
+		t.Error("nil link accepted")
+	}
+	link, _ := New(DefaultConfig())
+	if _, err := NewStream(link, nil); err == nil {
+		t.Error("nil engine accepted")
+	}
+}
+
+func TestStreamDeliversEverything(t *testing.T) {
+	s, eng := streamFixture(t, 20, 2)
+	rng := rand.New(rand.NewSource(2))
+	var delivered int
+	s.OnDeliver = func(f []byte, at sim.Time) {
+		delivered++
+		if at < 0 {
+			t.Error("negative delivery time")
+		}
+	}
+	frames := make([][]byte, 200)
+	for i := range frames {
+		frames[i] = make([]byte, 1500)
+		rng.Read(frames[i])
+	}
+	s.Enqueue(frames...)
+	eng.Run()
+	if s.FramesOut != 200 || delivered != 200 || s.FramesLost != 0 {
+		t.Fatalf("out=%d cb=%d lost=%d", s.FramesOut, delivered, s.FramesLost)
+	}
+	if s.QueueDepth() != 0 {
+		t.Error("queue not drained")
+	}
+	if len(s.History) == 0 {
+		t.Error("no history samples")
+	}
+}
+
+func TestStreamTimingMatchesRate(t *testing.T) {
+	s, eng := streamFixture(t, 20, 0) // 40 Gbps aggregate
+	payload := 2_000_000              // 2 MB
+	nframes := payload / 1000
+	frames := make([][]byte, nframes)
+	for i := range frames {
+		frames[i] = make([]byte, 1000)
+	}
+	s.Enqueue(frames...)
+	eng.Run()
+	// Serialization time ≈ payload bits / goodput.
+	goodput := s.Link().AggregateRate() * s.Link().GoodputFraction()
+	want := float64(payload*8) / goodput
+	got := float64(eng.Now())
+	if got < want*0.9 || got > want*1.5 {
+		t.Errorf("stream took %v s, expected ~%v s", got, want)
+	}
+	if g := s.GoodputBps(); g < goodput*0.5 || g > goodput*1.1 {
+		t.Errorf("measured goodput %v vs theoretical %v", g, goodput)
+	}
+}
+
+func TestStreamMidFlightFailure(t *testing.T) {
+	s, eng := streamFixture(t, 20, 2)
+	rng := rand.New(rand.NewSource(3))
+	frames := make([][]byte, 400)
+	for i := range frames {
+		frames[i] = make([]byte, 1500)
+		rng.Read(frames[i])
+	}
+	s.Enqueue(frames...)
+	// Kill a channel partway through, then spare it out shortly after —
+	// the stream must lose a little and then fully recover.
+	eng.After(20e-6, func() { s.Link().KillChannel(7) })
+	eng.After(60e-6, func() { s.Link().FailChannel(7) })
+	eng.Run()
+	if s.FramesLost == 0 {
+		t.Skip("failure window missed all superframes; timing drifted")
+	}
+	if s.FramesOut+s.FramesLost != 400 {
+		t.Fatalf("accounting broken: out %d + lost %d != 400", s.FramesOut, s.FramesLost)
+	}
+	// The tail of history (after sparing) must be clean.
+	last := s.History[len(s.History)-1]
+	if last.Lost != 0 || last.UnitsLost != 0 {
+		t.Errorf("final superframe still lossy: %+v", last)
+	}
+}
+
+func TestStreamRateDropsOnDegradation(t *testing.T) {
+	s, eng := streamFixture(t, 10, 0)
+	frames := make([][]byte, 300)
+	for i := range frames {
+		frames[i] = make([]byte, 1500)
+	}
+	s.Enqueue(frames...)
+	eng.After(10e-6, func() {
+		s.Link().KillChannel(4)
+		s.Link().FailChannel(4) // no spares: degrade
+	})
+	eng.Run()
+	first := s.History[0]
+	last := s.History[len(s.History)-1]
+	if !(last.Rate < first.Rate) {
+		t.Errorf("rate should degrade: %v -> %v", first.Rate, last.Rate)
+	}
+}
+
+func TestStreamGoodputZeroBeforeTime(t *testing.T) {
+	s, _ := streamFixture(t, 4, 0)
+	if s.GoodputBps() != 0 {
+		t.Error("goodput before any time should be 0")
+	}
+}
+
+func TestStreamEnqueueWhileRunning(t *testing.T) {
+	s, eng := streamFixture(t, 10, 0)
+	a := make([][]byte, 50)
+	for i := range a {
+		a[i] = make([]byte, 1000)
+	}
+	s.Enqueue(a...)
+	eng.After(5e-6, func() {
+		b := make([][]byte, 50)
+		for i := range b {
+			b[i] = make([]byte, 1000)
+		}
+		s.Enqueue(b...)
+	})
+	eng.Run()
+	if s.FramesOut != 100 {
+		t.Fatalf("out = %d, want 100", s.FramesOut)
+	}
+}

@@ -1,0 +1,206 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAllBudgetsConstruct(t *testing.T) {
+	for _, tech := range AllTechs() {
+		for _, rate := range SupportedRates() {
+			b, err := PerBudget(tech, rate)
+			if err != nil {
+				t.Fatalf("%v @ %g: %v", tech, rate, err)
+			}
+			if b.TotalW() < 0 {
+				t.Errorf("%v @ %g: negative power", tech, rate)
+			}
+			if b.PJPerBit() < 0 {
+				t.Errorf("%v @ %g: negative energy", tech, rate)
+			}
+		}
+	}
+}
+
+func TestUnsupportedRate(t *testing.T) {
+	if _, err := PerBudget(DR, 123e9); err == nil {
+		t.Error("odd rate accepted")
+	}
+}
+
+func TestHeadline69PercentAt800G(t *testing.T) {
+	// The abstract: "reducing power consumption by up to 69%".
+	red, err := Reduction(Mosaic, DR, 800e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red < 0.60 || red > 0.75 {
+		t.Errorf("Mosaic vs DR reduction at 800G = %.1f%%, want ~69%%", red*100)
+	}
+}
+
+func TestPowerOrderingAt800G(t *testing.T) {
+	// DAC < Mosaic < CPO ~ LPO < AOC < DR: the trade-off Mosaic breaks is
+	// that only DAC used to be below the optics cluster.
+	get := func(tech Tech) float64 {
+		b, err := PerBudget(tech, 800e9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b.TotalW()
+	}
+	dac, mosaic, lpo, cpo, aoc, dr := get(DAC), get(Mosaic), get(LPO), get(CPO), get(AOC), get(DR)
+	if !(dac < mosaic) {
+		t.Errorf("DAC %v should be below Mosaic %v", dac, mosaic)
+	}
+	if !(mosaic < cpo && mosaic < lpo && mosaic < aoc && mosaic < dr) {
+		t.Errorf("Mosaic %v should beat all optics (cpo %v lpo %v aoc %v dr %v)",
+			mosaic, cpo, lpo, aoc, dr)
+	}
+	if !(lpo < dr && cpo < dr) {
+		t.Errorf("LPO/CPO should beat DSP optics")
+	}
+}
+
+func TestDSPDominatesDRBudget(t *testing.T) {
+	b, err := PerBudget(DR, 800e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Component("dsp") < 0.3*b.TotalW() {
+		t.Errorf("DSP %.2f W should dominate the DR budget %.2f W", b.Component("dsp"), b.TotalW())
+	}
+	// Mosaic has neither DSP nor laser bias.
+	m, _ := PerBudget(Mosaic, 800e9)
+	if m.Component("dsp") != 0 || m.Component("laser-bias") != 0 {
+		t.Error("Mosaic budget must not contain DSP or laser bias")
+	}
+}
+
+func TestPowerScalesWithRate(t *testing.T) {
+	for _, tech := range []Tech{AOC, DR, LPO, CPO, Mosaic} {
+		prev := 0.0
+		for _, rate := range SupportedRates() {
+			b, err := PerBudget(tech, rate)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b.TotalW() < prev {
+				t.Errorf("%v: power decreased from %v at %g", tech, prev, rate)
+			}
+			prev = b.TotalW()
+		}
+	}
+}
+
+func TestMosaicChannels(t *testing.T) {
+	// 800G at 2G/channel: 400 data + 4% spares = 416.
+	if got := MosaicChannels(800e9); got != 416 {
+		t.Errorf("channels(800G) = %d, want 416", got)
+	}
+	if got := MosaicChannels(200e9); got != 104 {
+		t.Errorf("channels(200G) = %d, want 104", got)
+	}
+}
+
+func TestPJPerBitSanity(t *testing.T) {
+	// 800G-era sanity: DR ~15-25 pJ/bit (pair), Mosaic ~5-8 pJ/bit.
+	dr, _ := PerBudget(DR, 800e9)
+	if pj := dr.PJPerBit(); pj < 12 || pj > 30 {
+		t.Errorf("DR pJ/bit = %v, want ~20", pj)
+	}
+	m, _ := PerBudget(Mosaic, 800e9)
+	if pj := m.PJPerBit(); pj < 3 || pj > 10 {
+		t.Errorf("Mosaic pJ/bit = %v, want ~6", pj)
+	}
+	if (Budget{}).PJPerBit() != 0 {
+		t.Error("zero-rate budget should have zero pJ/bit")
+	}
+}
+
+func TestSortedComponents(t *testing.T) {
+	b, _ := PerBudget(DR, 800e9)
+	sorted := b.SortedComponents()
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].PowerW > sorted[i-1].PowerW {
+			t.Fatal("not sorted")
+		}
+	}
+	if b.Component("no-such-component") != 0 {
+		t.Error("missing component should be 0")
+	}
+}
+
+func TestReductionErrors(t *testing.T) {
+	if _, err := Reduction(Mosaic, DR, 5e9); err == nil {
+		t.Error("bad rate accepted")
+	}
+}
+
+func TestReachOrdering(t *testing.T) {
+	// The trade-off axis: copper reach << Mosaic reach << telecom optics.
+	if !(DAC.NominalReachM() < Mosaic.NominalReachM() &&
+		Mosaic.NominalReachM() < DR.NominalReachM()) {
+		t.Error("reach ordering broken")
+	}
+	if Mosaic.NominalReachM() != 50 {
+		t.Errorf("Mosaic reach = %v, want 50", Mosaic.NominalReachM())
+	}
+	if DAC.NominalReachM() != 2 {
+		t.Errorf("DAC reach = %v, want 2", DAC.NominalReachM())
+	}
+}
+
+func TestTechStrings(t *testing.T) {
+	for _, tech := range AllTechs() {
+		if tech.String() == "" {
+			t.Error("empty tech name")
+		}
+	}
+	if Tech(42).String() != "tech(42)" {
+		t.Error("unknown tech formatting")
+	}
+	if Tech(42).NominalReachM() != 0 {
+		t.Error("unknown tech reach should be 0")
+	}
+}
+
+func TestChannelPowerShape(t *testing.T) {
+	// Fixed floor at low rate.
+	if p := ChannelPowerW(1e6); math.Abs(p-1.2e-3) > 1e-4 {
+		t.Errorf("low-rate power %v, want ~1.2mW floor", p)
+	}
+	// Monotone in rate.
+	prev := 0.0
+	for r := 0.1e9; r < 30e9; r += 0.5e9 {
+		p := ChannelPowerW(r)
+		if p < prev {
+			t.Fatalf("channel power not monotone at %v", r)
+		}
+		prev = p
+	}
+	if ChannelPowerW(0) != 0 {
+		t.Error("zero rate should be 0")
+	}
+}
+
+func TestSweetSpotNear2G(t *testing.T) {
+	// The wide-and-slow thesis: the energy-per-bit minimum sits at a
+	// couple of Gbps — far below the 50-100 Gbps of narrow-and-fast lanes.
+	r := SweetSpotRate()
+	if r < 1e9 || r > 4e9 {
+		t.Errorf("sweet spot = %v bps, want ~2G", r)
+	}
+	// Energy at 2G must beat energy at 25G and at 100G by a wide margin.
+	e2 := EnergyPerBitPJ(2e9)
+	e25 := EnergyPerBitPJ(25e9)
+	if e25 < 2*e2 {
+		t.Errorf("25G/channel energy %v should be >2x the 2G energy %v", e25, e2)
+	}
+}
+
+func TestEnergyPerBitEdge(t *testing.T) {
+	if EnergyPerBitPJ(0) != 0 {
+		t.Error("zero rate energy should be 0")
+	}
+}

@@ -1,0 +1,117 @@
+package reliability
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestWeibullValidate(t *testing.T) {
+	if (Weibull{Shape: 0, EtaHours: 1}).Validate() == nil {
+		t.Error("zero shape accepted")
+	}
+	if (Weibull{Shape: 1, EtaHours: 0}).Validate() == nil {
+		t.Error("zero eta accepted")
+	}
+	if (Weibull{Shape: 1.2, EtaHours: 1e6}).Validate() != nil {
+		t.Error("valid Weibull rejected")
+	}
+}
+
+func TestWeibullExponentialSpecialCase(t *testing.T) {
+	// k=1 reduces to the exponential with rate 1/eta.
+	w := Weibull{Shape: 1, EtaHours: 1e7}
+	f := FIT(100) // lambda = 1e-7/h -> eta = 1e7 h
+	for _, h := range []float64{1e3, 1e5, 1e7} {
+		if math.Abs(w.Survival(h)-f.SurvivalProb(h)) > 1e-12 {
+			t.Fatalf("k=1 Weibull != exponential at %v hours", h)
+		}
+	}
+	if math.Abs(w.HazardPerHour(12345)-1e-7) > 1e-18 {
+		t.Error("k=1 hazard should be constant 1/eta")
+	}
+}
+
+func TestWeibullHazardShapes(t *testing.T) {
+	infant := Weibull{Shape: 0.5, EtaHours: 1e6}
+	wearout := Weibull{Shape: 3, EtaHours: 1e6}
+	// Infant mortality: hazard decreasing; wear-out: increasing.
+	if !(infant.HazardPerHour(10) > infant.HazardPerHour(1000)) {
+		t.Error("infant hazard should decrease")
+	}
+	if !(wearout.HazardPerHour(1000) > wearout.HazardPerHour(10)) {
+		t.Error("wear-out hazard should increase")
+	}
+	if !math.IsInf(infant.HazardPerHour(0), 1) {
+		t.Error("infant hazard at 0 should diverge")
+	}
+	if wearout.HazardPerHour(0) != 0 {
+		t.Error("wear-out hazard at 0 should be 0")
+	}
+	if (Weibull{Shape: 1, EtaHours: 10}).HazardPerHour(0) != 0.1 {
+		t.Error("k=1 hazard at 0 should be 1/eta")
+	}
+}
+
+func TestWeibullSurvivalEdges(t *testing.T) {
+	w := Weibull{Shape: 2, EtaHours: 1000}
+	if w.Survival(0) != 1 || w.Survival(-5) != 1 {
+		t.Error("survival at t<=0 should be 1")
+	}
+	if math.Abs(w.Survival(1000)-math.Exp(-1)) > 1e-12 {
+		t.Error("survival at eta should be 1/e")
+	}
+}
+
+func TestWeibullSampleMatchesSurvival(t *testing.T) {
+	w := Weibull{Shape: 2, EtaHours: 5000}
+	rng := rand.New(rand.NewSource(40))
+	const n = 50000
+	beyond := 0
+	for i := 0; i < n; i++ {
+		if w.Sample(rng) > w.EtaHours {
+			beyond++
+		}
+	}
+	frac := float64(beyond) / n
+	if math.Abs(frac-math.Exp(-1)) > 0.01 {
+		t.Errorf("fraction beyond eta = %v, want 1/e", frac)
+	}
+}
+
+func TestSparedWeibullSurvival(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	mission := 5 * HoursPerYear
+	// Wear-out (k=3) with eta at 4x mission: channel survival ~exp(-(1/4)^3)
+	// = 98.4%; ~6-7 failures expected over 416 channels.
+	w := Weibull{Shape: 3, EtaHours: 4 * mission}
+	none := SparedWeibullSurvival(416, 0, w, mission, 4000, rng)
+	some := SparedWeibullSurvival(416, 16, w, mission, 4000, rng)
+	if !(some > none) {
+		t.Errorf("spares should help: %v vs %v", some, none)
+	}
+	if some < 0.99 {
+		t.Errorf("16 spares should handle wear-out: %v", some)
+	}
+	// Exponential consistency: k=1 Monte Carlo vs closed form.
+	exp := Weibull{Shape: 1, EtaHours: 1e9 / 2000}
+	mc := SparedWeibullSurvival(100, 3, exp, mission, 20000, rng)
+	closed := SparedSystem{N: 100, Spares: 3, PerChannel: 2000}.SurvivalProb(mission)
+	if math.Abs(mc-closed) > 0.02 {
+		t.Errorf("Weibull k=1 MC %v vs closed form %v", mc, closed)
+	}
+}
+
+func TestSparedWeibullGuards(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	w := Weibull{Shape: 1, EtaHours: 1e6}
+	if SparedWeibullSurvival(0, 0, w, 1, 10, rng) != 0 {
+		t.Error("invalid n accepted")
+	}
+	if SparedWeibullSurvival(10, 10, w, 1, 10, rng) != 0 {
+		t.Error("spares >= n accepted")
+	}
+	if SparedWeibullSurvival(10, 1, Weibull{}, 1, 10, rng) != 0 {
+		t.Error("invalid Weibull accepted")
+	}
+}

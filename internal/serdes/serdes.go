@@ -1,0 +1,287 @@
+// Package serdes models the equalization machinery a narrow-and-fast lane
+// cannot live without: symbol-spaced pulse responses synthesized from a
+// channel's frequency response, ISI metrics, and zero-forcing FFE design
+// via least squares. Its purpose in this reproduction is quantitative: show
+// how many equalizer taps a 53 Gbaud copper or band-limited channel needs
+// to open its eye, versus zero for a 2 Gbaud Mosaic channel — the origin of
+// the DSP power that dominates conventional transceivers (experiment E17).
+package serdes
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// PulseResponse is a symbol-spaced sampled pulse (the response of the
+// channel to one transmitted symbol), with the main cursor at MainCursor.
+type PulseResponse struct {
+	Taps       []float64
+	MainCursor int
+}
+
+// Main returns the main-cursor amplitude.
+func (p PulseResponse) Main() float64 {
+	if p.MainCursor < 0 || p.MainCursor >= len(p.Taps) {
+		return 0
+	}
+	return p.Taps[p.MainCursor]
+}
+
+// ISIRatio returns the worst-case inter-symbol interference: the sum of
+// absolute off-cursor taps divided by the main cursor. Below ~0.3 an NRZ
+// eye is open; above 1.0 it is fully closed.
+func (p PulseResponse) ISIRatio() float64 {
+	main := math.Abs(p.Main())
+	if main == 0 {
+		return math.Inf(1)
+	}
+	sum := 0.0
+	for i, t := range p.Taps {
+		if i != p.MainCursor {
+			sum += math.Abs(t)
+		}
+	}
+	return sum / main
+}
+
+// EyeOpening returns the normalised worst-case vertical eye: 1 - ISIRatio,
+// clamped at 0.
+func (p PulseResponse) EyeOpening() float64 {
+	e := 1 - p.ISIRatio()
+	if e < 0 {
+		return 0
+	}
+	return e
+}
+
+// FrequencyResponse gives the channel's magnitude response |H(f)| (linear,
+// not dB) at frequency f in Hz.
+type FrequencyResponse func(fHz float64) float64
+
+// SinglePole returns the response of a one-pole lowpass with the given
+// 3 dB bandwidth.
+func SinglePole(f3dB float64) FrequencyResponse {
+	return func(f float64) float64 {
+		if f3dB <= 0 {
+			return 0
+		}
+		x := f / f3dB
+		return 1 / math.Sqrt(1+x*x)
+	}
+}
+
+// FromInsertionLossDB converts an insertion-loss function (dB, positive)
+// into a magnitude response.
+func FromInsertionLossDB(il func(fHz float64) float64) FrequencyResponse {
+	return func(f float64) float64 {
+		return math.Pow(10, -il(f)/20)
+	}
+}
+
+// SamplePulse synthesizes the symbol-spaced pulse response of a channel at
+// the given baud rate: the zero-phase inverse DFT of |H(f)| convolved with
+// an ideal one-UI rectangular transmit pulse, sampled at symbol centres.
+// pre and post select how many cursors to keep either side of the main
+// tap. Zero-phase synthesis yields a symmetric pulse; for ISI and
+// equalizer-burden estimates this is the standard simplification.
+func SamplePulse(h FrequencyResponse, baud float64, pre, post int) (PulseResponse, error) {
+	if baud <= 0 {
+		return PulseResponse{}, errors.New("serdes: baud must be positive")
+	}
+	if pre < 0 || post < 0 {
+		return PulseResponse{}, errors.New("serdes: negative cursor counts")
+	}
+	const osr = 16    // samples per UI
+	const nfft = 4096 // frequency bins
+	fs := baud * osr
+	df := fs / nfft
+
+	// Combined response: channel × transmit sinc (one-UI rectangular pulse).
+	mag := make([]float64, nfft/2+1)
+	for k := range mag {
+		f := float64(k) * df
+		sinc := 1.0
+		if f > 0 {
+			x := math.Pi * f / baud
+			sinc = math.Sin(x) / x // signed: the lobes matter
+		}
+		mag[k] = h(f) * sinc
+	}
+	// Zero-phase inverse DFT (real, even): h[n] = (1/N)·Σ mag·cos(2πkn/N)·w
+	// with Hermitian weights.
+	impulse := func(n int) float64 {
+		sum := mag[0]
+		for k := 1; k < nfft/2; k++ {
+			sum += 2 * mag[k] * math.Cos(2*math.Pi*float64(k)*float64(n)/nfft)
+		}
+		sum += mag[nfft/2] * math.Cos(math.Pi*float64(n))
+		return sum / nfft
+	}
+	// Sample at symbol spacing around n=0 (the zero-phase peak).
+	taps := make([]float64, pre+post+1)
+	for i := range taps {
+		n := (i - pre) * osr
+		taps[i] = impulse(((n % nfft) + nfft) % nfft)
+	}
+	// Normalise to unit main cursor when possible.
+	p := PulseResponse{Taps: taps, MainCursor: pre}
+	if m := p.Main(); m != 0 {
+		for i := range p.Taps {
+			p.Taps[i] /= m
+		}
+	}
+	return p, nil
+}
+
+// FFE is a feed-forward (linear transversal) equalizer.
+type FFE struct {
+	Taps       []float64
+	MainCursor int
+}
+
+// DesignFFE computes the least-squares zero-forcing FFE of nTaps
+// coefficients for the pulse: it minimises the off-cursor energy of the
+// equalized pulse while pinning the main cursor to 1.
+func DesignFFE(p PulseResponse, nTaps int) (FFE, error) {
+	if nTaps <= 0 {
+		return FFE{}, errors.New("serdes: need at least one tap")
+	}
+	if len(p.Taps) == 0 || p.Main() == 0 {
+		return FFE{}, errors.New("serdes: degenerate pulse")
+	}
+	// Equalized pulse q = conv(p, w). Build the convolution matrix A with
+	// rows for every output position and solve A·w ≈ e (unit at the target
+	// cursor) in the least-squares sense.
+	fc := nTaps / 2 // equalizer main tap position
+	outLen := len(p.Taps) + nTaps - 1
+	target := p.MainCursor + fc
+	a := make([][]float64, outLen)
+	b := make([]float64, outLen)
+	for r := 0; r < outLen; r++ {
+		a[r] = make([]float64, nTaps)
+		for c := 0; c < nTaps; c++ {
+			pi := r - c
+			if pi >= 0 && pi < len(p.Taps) {
+				a[r][c] = p.Taps[pi]
+			}
+		}
+		if r == target {
+			b[r] = 1
+		}
+	}
+	w, err := leastSquares(a, b)
+	if err != nil {
+		return FFE{}, err
+	}
+	return FFE{Taps: w, MainCursor: fc}, nil
+}
+
+// Apply convolves the equalizer with a pulse and returns the equalized
+// pulse, renormalised to its main cursor.
+func (f FFE) Apply(p PulseResponse) PulseResponse {
+	if len(f.Taps) == 0 || len(p.Taps) == 0 {
+		return p
+	}
+	out := make([]float64, len(p.Taps)+len(f.Taps)-1)
+	for i, pv := range p.Taps {
+		for j, wv := range f.Taps {
+			out[i+j] += pv * wv
+		}
+	}
+	q := PulseResponse{Taps: out, MainCursor: p.MainCursor + f.MainCursor}
+	if m := q.Main(); m != 0 {
+		for i := range q.Taps {
+			q.Taps[i] /= m
+		}
+	}
+	return q
+}
+
+// TapsNeeded returns the smallest FFE length (up to maxTaps) that brings
+// the pulse's ISI ratio at or below targetISI; 0 if the raw channel
+// already meets it, and maxTaps+1 if even maxTaps cannot.
+func TapsNeeded(p PulseResponse, maxTaps int, targetISI float64) int {
+	if p.ISIRatio() <= targetISI {
+		return 0
+	}
+	for n := 2; n <= maxTaps; n++ {
+		ffe, err := DesignFFE(p, n)
+		if err != nil {
+			continue
+		}
+		if ffe.Apply(p).ISIRatio() <= targetISI {
+			return n
+		}
+	}
+	return maxTaps + 1
+}
+
+// leastSquares solves min ||A·x - b|| via the normal equations with
+// Gaussian elimination and partial pivoting.
+func leastSquares(a [][]float64, b []float64) ([]float64, error) {
+	if len(a) == 0 {
+		return nil, errors.New("serdes: empty system")
+	}
+	n := len(a[0])
+	// Normal equations: (AᵀA)·x = Aᵀb.
+	ata := make([][]float64, n)
+	atb := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ata[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for r := range a {
+				s += a[r][i] * a[r][j]
+			}
+			ata[i][j] = s
+		}
+		s := 0.0
+		for r := range a {
+			s += a[r][i] * b[r]
+		}
+		atb[i] = s
+	}
+	// Tikhonov whisper for numerical safety.
+	for i := 0; i < n; i++ {
+		ata[i][i] += 1e-12
+	}
+	return solveGauss(ata, atb)
+}
+
+// solveGauss performs in-place Gaussian elimination with partial pivoting.
+func solveGauss(m [][]float64, v []float64) ([]float64, error) {
+	n := len(v)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		best := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[best][col]) {
+				best = r
+			}
+		}
+		if math.Abs(m[best][col]) < 1e-18 {
+			return nil, fmt.Errorf("serdes: singular system at column %d", col)
+		}
+		m[col], m[best] = m[best], m[col]
+		v[col], v[best] = v[best], v[col]
+		// Eliminate.
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / m[col][col]
+			for c := col; c < n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+			v[r] -= f * v[col]
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := v[r]
+		for c := r + 1; c < n; c++ {
+			s -= m[r][c] * x[c]
+		}
+		x[r] = s / m[r][r]
+	}
+	return x, nil
+}

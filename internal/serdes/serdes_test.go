@@ -1,0 +1,205 @@
+package serdes
+
+import (
+	"math"
+	"testing"
+
+	"mosaic/internal/channel"
+)
+
+func TestSinglePoleResponse(t *testing.T) {
+	h := SinglePole(1e9)
+	if got := h(0); got != 1 {
+		t.Errorf("DC gain = %v", got)
+	}
+	if got := h(1e9); math.Abs(got-1/math.Sqrt2) > 1e-12 {
+		t.Errorf("gain at f3dB = %v", got)
+	}
+	if h(10e9) >= h(1e9) {
+		t.Error("response should roll off")
+	}
+	if SinglePole(0)(1e9) != 0 {
+		t.Error("zero-bandwidth channel should pass nothing")
+	}
+}
+
+func TestSamplePulseCleanChannel(t *testing.T) {
+	// A channel much faster than the baud: main cursor ~1, negligible ISI.
+	p, err := SamplePulse(SinglePole(20e9), 2e9, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Main() != 1 {
+		t.Errorf("main cursor = %v (should be normalised)", p.Main())
+	}
+	if isi := p.ISIRatio(); isi > 0.15 {
+		t.Errorf("clean channel ISI = %v", isi)
+	}
+	if p.EyeOpening() < 0.85 {
+		t.Errorf("clean channel eye = %v", p.EyeOpening())
+	}
+}
+
+func TestSamplePulseBandlimitedChannel(t *testing.T) {
+	// Bandwidth far below baud: heavy ISI, eye closed or nearly so.
+	p, err := SamplePulse(SinglePole(0.15*53.125e9), 53.125e9, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero-phase synthesis splits the tail symmetrically, so the worst-case
+	// ISI reads lower than a causal pulse's — but it must still be severe
+	// enough to leave only a sliver of eye.
+	if isi := p.ISIRatio(); isi < 0.6 {
+		t.Errorf("starved channel ISI = %v, want severe", isi)
+	}
+}
+
+func TestSamplePulseValidation(t *testing.T) {
+	if _, err := SamplePulse(SinglePole(1e9), 0, 2, 2); err == nil {
+		t.Error("zero baud accepted")
+	}
+	if _, err := SamplePulse(SinglePole(1e9), 1e9, -1, 2); err == nil {
+		t.Error("negative cursors accepted")
+	}
+}
+
+func TestFFEOpensClosedEye(t *testing.T) {
+	raw, err := SamplePulse(SinglePole(0.25*53.125e9), 53.125e9, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffe, err := DesignFFE(raw, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq := ffe.Apply(raw)
+	if !(eq.ISIRatio() < raw.ISIRatio()/2) {
+		t.Errorf("FFE did not help: raw %v, eq %v", raw.ISIRatio(), eq.ISIRatio())
+	}
+	if eq.Main() != 1 {
+		t.Error("equalized pulse not renormalised")
+	}
+}
+
+func TestDesignFFEValidation(t *testing.T) {
+	if _, err := DesignFFE(PulseResponse{}, 5); err == nil {
+		t.Error("degenerate pulse accepted")
+	}
+	p, _ := SamplePulse(SinglePole(1e9), 1e9, 2, 2)
+	if _, err := DesignFFE(p, 0); err == nil {
+		t.Error("zero taps accepted")
+	}
+}
+
+func TestTapsNeededOrdering(t *testing.T) {
+	baud := 53.125e9
+	// The cleaner the channel, the fewer taps.
+	clean, _ := SamplePulse(SinglePole(baud*0.8), baud, 4, 10)
+	mild, _ := SamplePulse(SinglePole(baud*0.35), baud, 4, 10)
+	harsh, _ := SamplePulse(SinglePole(baud*0.18), baud, 4, 10)
+	nClean := TapsNeeded(clean, 31, 0.3)
+	nMild := TapsNeeded(mild, 31, 0.3)
+	nHarsh := TapsNeeded(harsh, 31, 0.3)
+	if !(nClean <= nMild && nMild <= nHarsh) {
+		t.Errorf("taps not monotone: %d %d %d", nClean, nMild, nHarsh)
+	}
+	if nHarsh <= 2 {
+		t.Errorf("harsh channel needs only %d taps?", nHarsh)
+	}
+}
+
+func TestMosaicChannelNeedsNoEqualizer(t *testing.T) {
+	// The headline of this package: the 2 Gbps Mosaic channel (LED ~1.2 GHz
+	// + receiver) meets the ISI target with ZERO equalizer taps.
+	p, err := SamplePulse(SinglePole(1.05e9), 2e9, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := TapsNeeded(p, 31, 0.3); n != 0 {
+		t.Errorf("Mosaic channel needs %d taps, want 0", n)
+	}
+}
+
+func TestCopperNeedsManyTaps(t *testing.T) {
+	// 53 Gbaud over 2 m of twinax: insertion loss ~28 dB at Nyquist. The
+	// equalizer burden must be substantial (this is what the DSP does).
+	c := channel.Twinax26AWG()
+	h := FromInsertionLossDB(func(f float64) float64 {
+		return c.InsertionLossDB(f, 2)
+	})
+	p, err := SamplePulse(h, 53.125e9, 6, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := TapsNeeded(p, 41, 0.3)
+	if n < 3 {
+		t.Errorf("112G copper needs %d taps; expected a real equalizer", n)
+	}
+}
+
+func TestEyeOpeningClamp(t *testing.T) {
+	p := PulseResponse{Taps: []float64{1, 1, 1}, MainCursor: 1}
+	if p.EyeOpening() != 0 {
+		t.Error("fully closed eye should clamp to 0")
+	}
+	if (PulseResponse{Taps: []float64{0}, MainCursor: 0}).ISIRatio() != math.Inf(1) {
+		t.Error("zero main cursor should be infinite ISI")
+	}
+	if (PulseResponse{MainCursor: -1}).Main() != 0 {
+		t.Error("out-of-range cursor should be 0")
+	}
+}
+
+func TestSolveGauss(t *testing.T) {
+	// 2x + y = 5; x + 3y = 10 -> x = 1, y = 3.
+	m := [][]float64{{2, 1}, {1, 3}}
+	v := []float64{5, 10}
+	x, err := solveGauss(m, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-9 || math.Abs(x[1]-3) > 1e-9 {
+		t.Errorf("solution = %v", x)
+	}
+	// Singular system.
+	m = [][]float64{{1, 1}, {1, 1}}
+	v = []float64{1, 2}
+	if _, err := solveGauss(m, v); err == nil {
+		t.Error("singular system accepted")
+	}
+}
+
+func TestLeastSquaresExactSystem(t *testing.T) {
+	// Overdetermined but consistent: fit y = 2x.
+	a := [][]float64{{1}, {2}, {3}}
+	b := []float64{2, 4, 6}
+	x, err := leastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-6 {
+		t.Errorf("slope = %v", x[0])
+	}
+	if _, err := leastSquares(nil, nil); err == nil {
+		t.Error("empty system accepted")
+	}
+}
+
+func TestFFEApplyEdge(t *testing.T) {
+	p := PulseResponse{Taps: []float64{1}, MainCursor: 0}
+	if got := (FFE{}).Apply(p); got.Main() != 1 {
+		t.Error("empty FFE should pass through")
+	}
+}
+
+func BenchmarkDesignFFE(b *testing.B) {
+	p, err := SamplePulse(SinglePole(10e9), 53.125e9, 6, 14)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := DesignFFE(p, 15); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

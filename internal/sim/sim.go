@@ -1,0 +1,183 @@
+// Package sim is a deterministic discrete-event simulation engine: a
+// monotonic virtual clock, a binary-heap event queue with stable FIFO
+// ordering for simultaneous events, and named deterministic RNG streams so
+// that adding a new source of randomness never perturbs existing ones.
+//
+// It underpins the network-level experiments (flow simulation, failure
+// injection) and the bit-true link pipeline's error processes.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Time is simulation time in seconds.
+type Time float64
+
+// Duration helpers.
+const (
+	Nanosecond  Time = 1e-9
+	Microsecond Time = 1e-6
+	Millisecond Time = 1e-3
+	Second      Time = 1
+)
+
+// String renders the time with a convenient unit.
+func (t Time) String() string {
+	switch v := float64(t); {
+	case math.Abs(v) >= 1:
+		return fmt.Sprintf("%.6gs", v)
+	case math.Abs(v) >= 1e-3:
+		return fmt.Sprintf("%.6gms", v*1e3)
+	case math.Abs(v) >= 1e-6:
+		return fmt.Sprintf("%.6gus", v*1e6)
+	case v == 0:
+		return "0s"
+	default:
+		return fmt.Sprintf("%.6gns", v*1e9)
+	}
+}
+
+// ToStdDuration converts to a time.Duration (for printing).
+func (t Time) ToStdDuration() time.Duration {
+	return time.Duration(float64(t) * float64(time.Second))
+}
+
+// Event is a scheduled callback.
+type event struct {
+	at       Time
+	seq      uint64 // tie-break: FIFO among simultaneous events
+	fn       func()
+	canceled *bool
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator. Not safe for
+// concurrent use — determinism is the point.
+type Engine struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	seed   int64
+	rngs   map[string]*rand.Rand
+	events uint64 // total events executed
+}
+
+// NewEngine returns an engine whose named RNG streams derive from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{seed: seed, rngs: make(map[string]*rand.Rand)}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// EventsExecuted returns how many events have run.
+func (e *Engine) EventsExecuted() uint64 { return e.events }
+
+// Canceler cancels a scheduled event when called. Calling it after the
+// event has fired is a harmless no-op.
+type Canceler func()
+
+// Schedule runs fn at absolute time at. Scheduling in the past panics —
+// that is always a model bug.
+func (e *Engine) Schedule(at Time, fn func()) Canceler {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", at, e.now))
+	}
+	canceled := new(bool)
+	ev := &event{at: at, seq: e.seq, fn: fn, canceled: canceled}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return func() { *canceled = true }
+}
+
+// After runs fn after delay d from now.
+func (e *Engine) After(d Time, fn func()) Canceler {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	return e.Schedule(e.now+d, fn)
+}
+
+// Step executes the next event. It returns false when the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if *ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.events++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with time <= deadline; the clock then advances
+// to the deadline (if it hasn't passed it already).
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.queue) > 0 {
+		// Peek.
+		next := e.queue[0]
+		if *next.canceled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Pending returns the number of events still queued (including canceled
+// ones not yet reaped).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// RNG returns the deterministic random stream for the given name, creating
+// it on first use. Streams with different names are independent; the same
+// name always yields the same sequence for a given engine seed.
+func (e *Engine) RNG(name string) *rand.Rand {
+	if r, ok := e.rngs[name]; ok {
+		return r
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	r := rand.New(rand.NewSource(e.seed ^ int64(h.Sum64())))
+	e.rngs[name] = r
+	return r
+}

@@ -1,0 +1,65 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBERFromQNegative(t *testing.T) {
+	if BERFromQ(-3) != 0.5 {
+		t.Error("negative Q should be coin-flip BER")
+	}
+}
+
+func TestRINNoiseGuards(t *testing.T) {
+	if RINNoiseCurrentSq(0, -130, 1e9) != 0 {
+		t.Error("zero current should have zero RIN noise")
+	}
+	if RINNoiseCurrentSq(1e-3, -130, 0) != 0 {
+		t.Error("zero bandwidth should have zero RIN noise")
+	}
+}
+
+func TestBandwidthStringRanges(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{2.5e12, "2.5THz"},
+		{500, "500Hz"},
+		{5e3, "5kHz"},
+	}
+	for _, c := range cases {
+		if got := Bandwidth(c.v).String(); got != c.want {
+			t.Errorf("Bandwidth(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestDataRateStringRanges(t *testing.T) {
+	if got := DataRate(5e6).String(); got != "5Mbps" {
+		t.Errorf("got %q", got)
+	}
+	if got := DataRate(100).String(); got != "100bps" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestPowerStringRanges(t *testing.T) {
+	if got := Power(5e-6).String(); got != "5uW" {
+		t.Errorf("got %q", got)
+	}
+	if got := Power(5e-10).String(); got != "0.5nW" {
+		t.Errorf("got %q", got)
+	}
+	if got := Power(-2.5).String(); got != "-2.5W" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestPhotonEnergyFreqConsistency(t *testing.T) {
+	lambda := 1310e-9
+	if got := PhotonEnergy(lambda); math.Abs(got-PlanckConst*WavelengthToFreq(lambda)) > 1e-30 {
+		t.Error("photon energy inconsistent with frequency")
+	}
+}
