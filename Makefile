@@ -1,0 +1,29 @@
+# Tier-1 verification for the Mosaic repo. `make check` is the gate every
+# change must pass: vet, build, the full test suite under the race
+# detector (the PHY's per-lane stage runs on a shared worker pool), and a
+# doubled determinism run to catch any seed-dependent flakiness.
+
+GO ?= go
+
+.PHONY: check vet build test race determinism bench
+
+check: vet build race determinism
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+determinism:
+	$(GO) test -run TestDeterminism -count=2 ./internal/phy/
+
+# Not part of check: the allocation-aware end-to-end benchmark.
+bench:
+	$(GO) test -bench 'BenchmarkE10EndToEnd$$' -benchmem -benchtime 3x -run '^$$' .

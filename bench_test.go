@@ -1,9 +1,9 @@
 package mosaic
 
-// One benchmark per reconstructed table/figure (E1-E12) and ablation
-// (A1-A4). Each bench regenerates its experiment through the same code
-// path as cmd/mosaicbench, reports the headline numbers as custom metrics,
-// and (with -v) logs the full table.
+// One benchmark per reconstructed table/figure (E1-E21) and ablation
+// (A1-A5). Each bench regenerates its experiment through the experiment
+// registry — the same code path as cmd/mosaicbench — reports the headline
+// numbers as custom metrics, and (with -v) logs the full table.
 //
 //	go test -bench=. -benchmem            # all experiments as benchmarks
 //	go test -bench=BenchmarkE4 -v         # one experiment, with its table
@@ -35,13 +35,24 @@ func logTable(b *testing.B, tab experiments.Table, err error) experiments.Table 
 	return tab
 }
 
-func BenchmarkE1TradeoffTable(b *testing.B) {
+// runExperiment regenerates one registered experiment b.N times with
+// seed 1 and returns the last table.
+func runExperiment(b *testing.B, id string) experiments.Table {
+	b.Helper()
+	e, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
 	var tab experiments.Table
 	var err error
 	for i := 0; i < b.N; i++ {
-		tab, err = experiments.E1Tradeoff()
+		tab, err = e.Gen(1)
 	}
-	tab = logTable(b, tab, err)
+	return logTable(b, tab, err)
+}
+
+func BenchmarkE1TradeoffTable(b *testing.B) {
+	tab := runExperiment(b, "E1")
 	// Headline metrics: Mosaic reach multiple over copper.
 	var dac, mosaic float64
 	for _, r := range tab.Rows {
@@ -59,12 +70,7 @@ func BenchmarkE1TradeoffTable(b *testing.B) {
 }
 
 func BenchmarkE2PowerBreakdown(b *testing.B) {
-	var tab experiments.Table
-	var err error
-	for i := 0; i < b.N; i++ {
-		tab, err = experiments.E2PowerBreakdown()
-	}
-	logTable(b, tab, err)
+	runExperiment(b, "E2")
 	red, err := power.Reduction(power.Mosaic, power.DR, 800e9)
 	if err != nil {
 		b.Fatal(err)
@@ -73,35 +79,20 @@ func BenchmarkE2PowerBreakdown(b *testing.B) {
 }
 
 func BenchmarkE3PowerScaling(b *testing.B) {
-	var tab experiments.Table
-	var err error
-	for i := 0; i < b.N; i++ {
-		tab, err = experiments.E3PowerScaling()
-	}
-	logTable(b, tab, err)
+	runExperiment(b, "E3")
 	m, _ := power.PerBudget(power.Mosaic, 1.6e12)
 	b.ReportMetric(m.PJPerBit(), "mosaic_1.6T_pJ_per_bit")
 }
 
 func BenchmarkE4ReachBudget(b *testing.B) {
-	var tab experiments.Table
-	var err error
-	for i := 0; i < b.N; i++ {
-		tab, err = experiments.E4ReachBudget()
-	}
-	logTable(b, tab, err)
+	runExperiment(b, "E4")
 	b.ReportMetric(core.DefaultDesign().MaxReach(1e-12), "reach_m")
 	b.ReportMetric(channel.Twinax26AWG().MaxReach(
 		channel.NyquistHz(106.25e9, channel.PAM4), 28), "copper_reach_m")
 }
 
 func BenchmarkE5PrototypeBER(b *testing.B) {
-	var tab experiments.Table
-	var err error
-	for i := 0; i < b.N; i++ {
-		tab, err = experiments.E5PrototypeBER(1)
-	}
-	logTable(b, tab, err)
+	runExperiment(b, "E5")
 	d := core.DefaultDesign()
 	d.LengthM = 40
 	rep, err := d.Evaluate()
@@ -113,12 +104,7 @@ func BenchmarkE5PrototypeBER(b *testing.B) {
 }
 
 func BenchmarkE6Misalignment(b *testing.B) {
-	var tab experiments.Table
-	var err error
-	for i := 0; i < b.N; i++ {
-		tab, err = experiments.E6Misalignment()
-	}
-	logTable(b, tab, err)
+	runExperiment(b, "E6")
 	d := core.DefaultDesign()
 	penalty := d.Fiber.CouplingLossDB(d.SpotDiameterM, 10e-6) -
 		d.Fiber.CouplingLossDB(d.SpotDiameterM, 0)
@@ -126,89 +112,45 @@ func BenchmarkE6Misalignment(b *testing.B) {
 }
 
 func BenchmarkE7Reliability(b *testing.B) {
-	var tab experiments.Table
-	var err error
-	for i := 0; i < b.N; i++ {
-		tab, err = experiments.E7Reliability()
-	}
-	logTable(b, tab, err)
+	runExperiment(b, "E7")
 	mission := 5 * reliability.HoursPerYear
 	b.ReportMetric(float64(reliability.MosaicLinkFIT(400, 16, mission)), "mosaic_FIT")
 	b.ReportMetric(float64(reliability.LinkFIT(reliability.FITLaserDFB, 8)), "dr8_FIT")
 }
 
 func BenchmarkE8ScalingTable(b *testing.B) {
-	var tab experiments.Table
-	var err error
-	for i := 0; i < b.N; i++ {
-		tab, err = experiments.E8ScalingTable()
-	}
-	logTable(b, tab, err)
+	runExperiment(b, "E8")
 	b.ReportMetric(float64(power.MosaicChannels(1.6e12)), "channels_at_1.6T")
 }
 
 func BenchmarkE9SweetSpot(b *testing.B) {
-	var tab experiments.Table
-	var err error
-	for i := 0; i < b.N; i++ {
-		tab, err = experiments.E9SweetSpot()
-	}
-	logTable(b, tab, err)
+	runExperiment(b, "E9")
 	b.ReportMetric(power.SweetSpotRate()/1e9, "sweet_spot_Gbps")
 }
 
 func BenchmarkE10EndToEnd(b *testing.B) {
-	var tab experiments.Table
-	var err error
-	for i := 0; i < b.N; i++ {
-		tab, err = experiments.E10EndToEnd(1)
-	}
-	logTable(b, tab, err)
+	b.ReportAllocs()
+	runExperiment(b, "E10")
 }
 
 func BenchmarkE11Datacenter(b *testing.B) {
-	var tab experiments.Table
-	var err error
-	for i := 0; i < b.N; i++ {
-		tab, err = experiments.E11Datacenter()
-	}
-	logTable(b, tab, err)
+	runExperiment(b, "E11")
 }
 
 func BenchmarkE12Degradation(b *testing.B) {
-	var tab experiments.Table
-	var err error
-	for i := 0; i < b.N; i++ {
-		tab, err = experiments.E12Degradation(1)
-	}
-	logTable(b, tab, err)
+	runExperiment(b, "E12")
 }
 
 func BenchmarkE13Temperature(b *testing.B) {
-	var tab experiments.Table
-	var err error
-	for i := 0; i < b.N; i++ {
-		tab, err = experiments.E13Temperature()
-	}
-	logTable(b, tab, err)
+	runExperiment(b, "E13")
 }
 
 func BenchmarkE14Latency(b *testing.B) {
-	var tab experiments.Table
-	var err error
-	for i := 0; i < b.N; i++ {
-		tab, err = experiments.E14Latency()
-	}
-	logTable(b, tab, err)
+	runExperiment(b, "E14")
 }
 
 func BenchmarkE15Cost(b *testing.B) {
-	var tab experiments.Table
-	var err error
-	for i := 0; i < b.N; i++ {
-		tab, err = experiments.E15Cost()
-	}
-	logTable(b, tab, err)
+	runExperiment(b, "E15")
 	_, cheapest, err := power.CheapestAt(800e9, 30)
 	if err != nil {
 		b.Fatal(err)
@@ -217,102 +159,67 @@ func BenchmarkE15Cost(b *testing.B) {
 }
 
 func BenchmarkE16BlastRadius(b *testing.B) {
-	var tab experiments.Table
-	var err error
-	for i := 0; i < b.N; i++ {
-		tab, err = experiments.E16BlastRadius(1)
-	}
-	logTable(b, tab, err)
+	runExperiment(b, "E16")
 }
 
 func BenchmarkE17Equalization(b *testing.B) {
-	var tab experiments.Table
-	var err error
-	for i := 0; i < b.N; i++ {
-		tab, err = experiments.E17Equalization()
-	}
-	logTable(b, tab, err)
+	runExperiment(b, "E17")
 }
 
 func BenchmarkE18Waterfall(b *testing.B) {
-	var tab experiments.Table
-	var err error
-	for i := 0; i < b.N; i++ {
-		tab, err = experiments.E18Waterfall(1)
-	}
-	logTable(b, tab, err)
+	runExperiment(b, "E18")
 }
 
 func BenchmarkE19OpticsBudget(b *testing.B) {
-	var tab experiments.Table
-	var err error
-	for i := 0; i < b.N; i++ {
-		tab, err = experiments.E19OpticsBudget()
-	}
-	logTable(b, tab, err)
+	runExperiment(b, "E19")
 }
 
 func BenchmarkE20FleetTCO(b *testing.B) {
-	var tab experiments.Table
-	var err error
-	for i := 0; i < b.N; i++ {
-		tab, err = experiments.E20FleetTCO()
-	}
-	logTable(b, tab, err)
+	runExperiment(b, "E20")
 }
 
 func BenchmarkE21PredictiveMaintenance(b *testing.B) {
-	var tab experiments.Table
-	var err error
-	for i := 0; i < b.N; i++ {
-		tab, err = experiments.E21PredictiveMaintenance(1)
-	}
-	logTable(b, tab, err)
-}
-
-func BenchmarkA5Modulation(b *testing.B) {
-	var tab experiments.Table
-	var err error
-	for i := 0; i < b.N; i++ {
-		tab, err = experiments.A5Modulation()
-	}
-	logTable(b, tab, err)
+	runExperiment(b, "E21")
 }
 
 func BenchmarkA1Oversampling(b *testing.B) {
-	var tab experiments.Table
-	var err error
-	for i := 0; i < b.N; i++ {
-		tab, err = experiments.A1Oversampling()
-	}
-	logTable(b, tab, err)
+	runExperiment(b, "A1")
 }
 
 func BenchmarkA2FECChoice(b *testing.B) {
-	var tab experiments.Table
-	var err error
-	for i := 0; i < b.N; i++ {
-		tab, err = experiments.A2FECChoice(1)
-	}
-	logTable(b, tab, err)
+	runExperiment(b, "A2")
 }
 
 func BenchmarkA3UnitSize(b *testing.B) {
-	var tab experiments.Table
-	var err error
-	for i := 0; i < b.N; i++ {
-		tab, err = experiments.A3UnitSize(1)
-	}
-	logTable(b, tab, err)
+	runExperiment(b, "A3")
 }
 
 func BenchmarkA4SparingPolicy(b *testing.B) {
-	var tab experiments.Table
-	var err error
-	for i := 0; i < b.N; i++ {
-		tab, err = experiments.A4SparingPolicy(1)
+	runExperiment(b, "A4")
+}
+
+func BenchmarkA5Modulation(b *testing.B) {
+	runExperiment(b, "A5")
+}
+
+// BenchmarkFullSuite regenerates the entire registry through the parallel
+// runner, the way `mosaicbench -par N` does.
+func BenchmarkFullSuite(b *testing.B) {
+	for _, par := range []int{1, 4} {
+		b.Run("par="+strconv.Itoa(par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results, err := experiments.Run(nil, 1, par)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range results {
+					if r.Err != nil {
+						b.Fatalf("%s: %v", r.Experiment.ID, r.Err)
+					}
+				}
+			}
+		})
 	}
-	logTable(b, tab, err)
 }
 
 // BenchmarkPipelineThroughput measures the raw simulation speed of the
@@ -332,6 +239,7 @@ func BenchmarkPipelineThroughput(b *testing.B) {
 		total += 1500
 	}
 	b.SetBytes(int64(total))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := link.Exchange(frames); err != nil {

@@ -36,6 +36,7 @@ func main() {
 		sweep    = flag.Bool("sweep", false, "print a reach sweep instead")
 		eye      = flag.Bool("eye", false, "render the channel eye diagram")
 		cfgPath  = flag.String("config", "", "JSON design config (overrides other design flags)")
+		par      = flag.Int("par", 0, "PHY lane workers for -run (0 = all cores, 1 = serial; same results either way)")
 	)
 	flag.Parse()
 
@@ -68,6 +69,7 @@ func main() {
 			fatal(err)
 		}
 	}
+	d.Workers = *par
 	report(d, *seed, *eye, *run, *frames, *sweep)
 }
 

@@ -1,12 +1,18 @@
 // Command mosaicbench regenerates the paper's evaluation: every
-// reconstructed table and figure (E1-E12) plus the design-choice ablations
-// (A1-A4). Run with no arguments for the full suite, or select experiments:
+// reconstructed table and figure (E1-E21) plus the design-choice ablations
+// (A1-A5), driven by the experiment registry. Run with no arguments for
+// the full suite, or select experiments:
 //
 //	mosaicbench                 # everything
 //	mosaicbench -exp E4         # one experiment
 //	mosaicbench -exp E1,E2,E7   # a subset
-//	mosaicbench -list           # list experiments
+//	mosaicbench -list           # list experiments (metadata only, runs nothing)
 //	mosaicbench -seed 7         # change the simulation seed
+//	mosaicbench -par 4          # generate experiments concurrently
+//
+// With -par N the generators run on up to N goroutines; output is always
+// printed in registry order, and a fixed seed produces identical tables at
+// any parallelism.
 package main
 
 import (
@@ -24,47 +30,45 @@ func main() {
 		seedFlag = flag.Int64("seed", 1, "simulation seed")
 		listFlag = flag.Bool("list", false, "list experiment IDs and exit")
 		csvFlag  = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		parFlag  = flag.Int("par", 1, "run up to N experiment generators concurrently")
 	)
 	flag.Parse()
 
-	all := experiments.All(*seedFlag)
 	if *listFlag {
-		for _, e := range all {
-			tab, err := e.Gen()
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
-				continue
-			}
-			fmt.Printf("%-4s %s\n", e.ID, tab.Title)
+		// Pure metadata: listing never runs a generator and cannot fail.
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
 		}
 		return
 	}
 
-	want := map[string]bool{}
+	var ids []string
 	if *expFlag != "" {
 		for _, id := range strings.Split(*expFlag, ",") {
-			want[strings.ToUpper(strings.TrimSpace(id))] = true
+			id = strings.ToUpper(strings.TrimSpace(id))
+			if id != "" {
+				ids = append(ids, id)
+			}
+		}
+		if len(ids) == 0 {
+			fmt.Fprintf(os.Stderr, "mosaicbench: no experiments matched %q (try -list)\n", *expFlag)
+			os.Exit(2)
 		}
 	}
-	ran := 0
-	for _, e := range all {
-		if len(want) > 0 && !want[e.ID] {
-			continue
-		}
-		tab, err := e.Gen()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "mosaicbench: %s: %v\n", e.ID, err)
+	results, err := experiments.Run(ids, *seedFlag, *parFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mosaicbench: %v (try -list)\n", err)
+		os.Exit(2)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "mosaicbench: %s: %v\n", r.Experiment.ID, r.Err)
 			os.Exit(1)
 		}
 		if *csvFlag {
-			tab.FprintCSV(os.Stdout)
+			r.Table.FprintCSV(os.Stdout)
 		} else {
-			tab.Fprint(os.Stdout)
+			r.Table.Fprint(os.Stdout)
 		}
-		ran++
-	}
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "mosaicbench: no experiments matched %q (try -list)\n", *expFlag)
-		os.Exit(2)
 	}
 }

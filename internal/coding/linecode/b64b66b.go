@@ -147,9 +147,11 @@ func DecodeBlock(sync byte, payload [8]byte) (Block, error) {
 				return b, nil
 			}
 		}
-		return Block{}, fmt.Errorf("%w: %#02x", ErrBadBlockType, bt)
+		// Return the bare sentinel: corrupted blocks are the common case on
+		// a noisy stream, and wrapping would allocate per bad block.
+		return Block{}, ErrBadBlockType
 	default:
-		return Block{}, fmt.Errorf("%w: %02b", ErrBadSync, sync)
+		return Block{}, ErrBadSync
 	}
 }
 
@@ -168,18 +170,23 @@ const MinFrameLen = 7
 
 // FrameToBlocks converts a payload into Start/Data/Term blocks.
 func FrameToBlocks(frame []byte) ([]Block, error) {
+	return AppendFrameBlocks(make([]Block, 0, 2+len(frame)/8), frame)
+}
+
+// AppendFrameBlocks is FrameToBlocks into a reusable slice: the frame's
+// blocks are appended to dst and the extended slice returned.
+func AppendFrameBlocks(dst []Block, frame []byte) ([]Block, error) {
 	if len(frame) < MinFrameLen {
-		return nil, fmt.Errorf("%w: frame of %d bytes below minimum %d", ErrBadFraming, len(frame), MinFrameLen)
+		return dst, fmt.Errorf("%w: frame of %d bytes below minimum %d", ErrBadFraming, len(frame), MinFrameLen)
 	}
-	blocks := make([]Block, 0, 2+len(frame)/8)
 	var first7 [7]byte
 	n := copy(first7[:], frame)
-	blocks = append(blocks, StartBlock(first7))
+	dst = append(dst, StartBlock(first7))
 	rest := frame[n:]
 	for len(rest) >= 8 {
 		var d [8]byte
 		copy(d[:], rest[:8])
-		blocks = append(blocks, DataBlock(d))
+		dst = append(dst, DataBlock(d))
 		rest = rest[8:]
 	}
 	tb, err := TermBlock(rest)
@@ -187,7 +194,7 @@ func FrameToBlocks(frame []byte) ([]Block, error) {
 		// unreachable: rest < 8
 		panic(err)
 	}
-	return append(blocks, tb), nil
+	return append(dst, tb), nil
 }
 
 // BlocksToFrame reassembles a payload from a Start..Term block run.

@@ -24,6 +24,12 @@ func NewScrambler(seed uint64) *Scrambler {
 	return &Scrambler{state: seed & (1<<58 - 1)}
 }
 
+// Reset rewinds the scrambler to the given seed state, making one instance
+// reusable across streams without reallocation.
+func (s *Scrambler) Reset(seed uint64) {
+	s.state = seed & (1<<58 - 1)
+}
+
 // ScrambleBit scrambles one bit (0 or 1).
 func (s *Scrambler) ScrambleBit(in byte) byte {
 	tap := byte((s.state>>38)^(s.state>>57)) & 1 // x^39, x^58
@@ -56,6 +62,11 @@ type Descrambler struct {
 // only matters for the first 58 bits).
 func NewDescrambler(seed uint64) *Descrambler {
 	return &Descrambler{state: seed & (1<<58 - 1)}
+}
+
+// Reset rewinds the descrambler to the given seed state.
+func (d *Descrambler) Reset(seed uint64) {
+	d.state = seed & (1<<58 - 1)
 }
 
 // DescrambleBit descrambles one bit.

@@ -130,6 +130,38 @@ func (c *Code) Encode(data []int) ([]int, error) {
 	return out, nil
 }
 
+// EncodeTo is Encode without allocation: it writes the n-symbol codeword
+// into out (which must have length n), using out's parity section as the
+// division register. data and out must not alias.
+func (c *Code) EncodeTo(out, data []int) error {
+	if len(data) != c.k {
+		return fmt.Errorf("rs: encode needs %d symbols, got %d", c.k, len(data))
+	}
+	if len(out) != c.n {
+		return fmt.Errorf("rs: EncodeTo needs an out of %d symbols, got %d", c.n, len(out))
+	}
+	for _, s := range data {
+		if s < 0 || s >= c.field.Size() {
+			return fmt.Errorf("rs: symbol %d out of range for %v", s, c.field)
+		}
+	}
+	np := c.n - c.k
+	f := c.field
+	rem := out[:np]
+	for i := range rem {
+		rem[i] = 0
+	}
+	for i := c.k - 1; i >= 0; i-- {
+		feedback := f.Add(data[i], rem[np-1])
+		for j := np - 1; j > 0; j-- {
+			rem[j] = f.Add(rem[j-1], f.Mul(feedback, c.gen[j]))
+		}
+		rem[0] = f.Mul(feedback, c.gen[0])
+	}
+	copy(out[np:], data)
+	return nil
+}
+
 // Data extracts the k data symbols from a (possibly corrected) codeword.
 func (c *Code) Data(codeword []int) []int {
 	return codeword[c.n-c.k:]
@@ -138,9 +170,16 @@ func (c *Code) Data(codeword []int) []int {
 // Syndromes computes the 2t syndromes of the received word. All-zero
 // syndromes mean the word is a codeword.
 func (c *Code) Syndromes(received []int) ([]int, bool) {
+	syn := make([]int, c.n-c.k)
+	clean := c.SyndromesInto(syn, received)
+	return syn, clean
+}
+
+// SyndromesInto is Syndromes without allocation: it fills syn (which must
+// have length n-k) and reports whether the word is clean.
+func (c *Code) SyndromesInto(syn, received []int) bool {
 	f := c.field
 	np := c.n - c.k
-	syn := make([]int, np)
 	clean := true
 	for j := 0; j < np; j++ {
 		x := f.Alpha(c.fcr + j)
@@ -150,7 +189,30 @@ func (c *Code) Syndromes(received []int) ([]int, bool) {
 			clean = false
 		}
 	}
-	return syn, clean
+	return clean
+}
+
+// DecodeTo corrects received into out (both length n) using synScratch
+// (length n-k) as syndrome scratch. The clean-word fast path — the common
+// case for a channel running at its design BER — performs no allocation;
+// corrupted words fall back to the full errors-and-erasures decoder.
+func (c *Code) DecodeTo(out, received, synScratch []int) (int, error) {
+	if len(received) != c.n || len(out) != c.n {
+		return 0, fmt.Errorf("rs: DecodeTo needs %d symbols", c.n)
+	}
+	if len(synScratch) != c.n-c.k {
+		return 0, fmt.Errorf("rs: DecodeTo needs %d syndrome scratch symbols", c.n-c.k)
+	}
+	if c.SyndromesInto(synScratch, received) {
+		copy(out, received)
+		return 0, nil
+	}
+	fixed, ncorr, err := c.DecodeErasures(received, nil)
+	if err != nil {
+		return 0, err
+	}
+	copy(out, fixed)
+	return ncorr, nil
 }
 
 // ErrTooManyErrors is returned when the decoder detects an uncorrectable

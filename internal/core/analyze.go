@@ -182,6 +182,7 @@ func (d Design) BuildPHY() (*phy.Link, error) {
 		FEC:               d.FEC,
 		PerChannelBitRate: d.ChannelRate,
 		Seed:              d.Seed,
+		Workers:           d.Workers,
 	})
 	if err != nil {
 		return nil, err

@@ -49,6 +49,10 @@ type Design struct {
 	// Digital pipeline.
 	FEC phy.FEC
 
+	// Workers caps the PHY's per-lane parallelism (0 = GOMAXPROCS,
+	// 1 = serial); any value yields bit-identical results for one Seed.
+	Workers int
+
 	Seed int64
 }
 

@@ -1,9 +1,11 @@
 // Package experiments regenerates every table and figure of the paper's
 // evaluation (as reconstructed in DESIGN.md — the full text was not
 // available, so the suite is derived from the abstract's quantitative
-// claims). Each function returns a printable Table; cmd/mosaicbench and the
-// top-level benchmark harness both drive these generators, so the numbers
-// in EXPERIMENTS.md, the CLI output, and `go test -bench` always agree.
+// claims). Every experiment lives in the Registry (registry.go): static
+// ID/title/claim metadata plus a seeded generator returning a printable
+// Table. cmd/mosaicbench and the top-level benchmark harness both drive
+// the registry — serially or in parallel via Run — so the numbers in
+// EXPERIMENTS.md, the CLI output, and `go test -bench` always agree.
 package experiments
 
 import (
@@ -113,12 +115,8 @@ func fe(v float64) string { return fmt.Sprintf("%.2e", v) }
 // E1Tradeoff builds the motivation table: reach, power, and reliability of
 // every technology at 800G.
 func E1Tradeoff() (Table, error) {
-	t := Table{
-		ID:      "E1",
-		Title:   "the reach/power/reliability trade-off at 800G",
-		Claim:   "copper: power-efficient and reliable but <2m; optics: long reach, high power, low reliability; Mosaic: breaks the trade-off",
-		Columns: []string{"tech", "reach_m", "power_W", "pJ/bit", "link_FIT"},
-	}
+	t := tableFor("E1")
+	t.Columns = []string{"tech", "reach_m", "power_W", "pJ/bit", "link_FIT"}
 	rows, err := core.DefaultDesign().CompareTechnologies(800e9)
 	if err != nil {
 		return t, err
@@ -134,12 +132,8 @@ func E1Tradeoff() (Table, error) {
 // E2PowerBreakdown builds the per-component power budgets at 800G and the
 // headline reduction figure.
 func E2PowerBreakdown() (Table, error) {
-	t := Table{
-		ID:      "E2",
-		Title:   "component power breakdown at 800G",
-		Claim:   "\"reducing power consumption by up to 69%\"",
-		Columns: []string{"tech", "component", "power_W", "share"},
-	}
+	t := tableFor("E2")
+	t.Columns = []string{"tech", "component", "power_W", "share"}
 	for _, tech := range power.AllTechs() {
 		b, err := power.PerBudget(tech, 800e9)
 		if err != nil {
@@ -165,12 +159,8 @@ func E2PowerBreakdown() (Table, error) {
 
 // E3PowerScaling sweeps aggregate rate for every technology.
 func E3PowerScaling() (Table, error) {
-	t := Table{
-		ID:      "E3",
-		Title:   "transceiver power vs aggregate rate",
-		Claim:   "the optics/copper power gap widens with speed; Mosaic scales like copper",
-		Columns: []string{"rate_Gbps", "DAC_W", "AOC_W", "DR_W", "LPO_W", "CPO_W", "Mosaic_W", "Mosaic_vs_DR"},
-	}
+	t := tableFor("E3")
+	t.Columns = []string{"rate_Gbps", "DAC_W", "AOC_W", "DR_W", "LPO_W", "CPO_W", "Mosaic_W", "Mosaic_vs_DR"}
 	for _, rate := range power.SupportedRates() {
 		row := []string{fm(rate/1e9, 0)}
 		var drW, moW float64
@@ -196,12 +186,8 @@ func E3PowerScaling() (Table, error) {
 // E4ReachBudget sweeps fiber length for the Mosaic channel and contrasts
 // the copper reach wall.
 func E4ReachBudget() (Table, error) {
-	t := Table{
-		ID:      "E4",
-		Title:   "link budget and BER vs reach",
-		Claim:   "\"over [25x] the reach of copper ... reach of up to 50m\"",
-		Columns: []string{"length_m", "rx_dBm", "BER", "margin_dB"},
-	}
+	t := tableFor("E4")
+	t.Columns = []string{"length_m", "rx_dBm", "BER", "margin_dB"}
 	d := core.DefaultDesign()
 	for _, l := range []float64{1, 2, 5, 10, 20, 30, 40, 50, 60, 70, 80} {
 		dd := d
@@ -221,12 +207,8 @@ func E4ReachBudget() (Table, error) {
 
 // E6Misalignment sweeps lateral connector offset.
 func E6Misalignment() (Table, error) {
-	t := Table{
-		ID:      "E6",
-		Title:   "misalignment tolerance and crosstalk",
-		Claim:   "massively multi-core imaging fibers make spatial multiplexing practical (coarse alignment suffices)",
-		Columns: []string{"offset_um", "coupling_loss_dB", "neighbor_leak_dB", "BER@30m"},
-	}
+	t := tableFor("E6")
+	t.Columns = []string{"offset_um", "coupling_loss_dB", "neighbor_leak_dB", "BER@30m"}
 	d := core.DefaultDesign()
 	d.LengthM = 30
 	for _, off := range []float64{0, 2, 5, 8, 10, 12, 15, 20, 25, 30} {
@@ -242,12 +224,8 @@ func E6Misalignment() (Table, error) {
 
 // E7Reliability sweeps spare count and compares against laser links.
 func E7Reliability() (Table, error) {
-	t := Table{
-		ID:      "E7",
-		Title:   "link reliability vs spare channels (5-year mission)",
-		Claim:   "\"offering higher reliability than today's optical links\"",
-		Columns: []string{"config", "FIT", "5yr_survival", "downtime_s/yr(MTTR24h)"},
-	}
+	t := tableFor("E7")
+	t.Columns = []string{"config", "FIT", "5yr_survival", "downtime_s/yr(MTTR24h)"}
 	const mission = 5 * reliability.HoursPerYear
 	dr8 := reliability.LinkFIT(reliability.FITLaserDFB, 8)
 	aoc := reliability.LinkFIT(reliability.FITLaserVCSEL, 8)
@@ -270,12 +248,8 @@ func E7Reliability() (Table, error) {
 
 // E8ScalingTable builds the configuration table across aggregate rates.
 func E8ScalingTable() (Table, error) {
-	t := Table{
-		ID:      "E8",
-		Title:   "scaling configurations at 2 Gbps/channel",
-		Claim:   "\"scales to 800Gbps and beyond\"",
-		Columns: []string{"rate_Gbps", "channels", "spares", "pitch_um", "fits_bundle", "power_W", "pJ/bit"},
-	}
+	t := tableFor("E8")
+	t.Columns = []string{"rate_Gbps", "channels", "spares", "pitch_um", "fits_bundle", "power_W", "pJ/bit"}
 	for _, rate := range power.SupportedRates() {
 		data := int(rate / power.MosaicChannelRate)
 		total := power.MosaicChannels(rate)
@@ -308,12 +282,8 @@ func E8ScalingTable() (Table, error) {
 
 // E9SweetSpot sweeps per-channel rate at fixed 800G aggregate.
 func E9SweetSpot() (Table, error) {
-	t := Table{
-		ID:      "E9",
-		Title:   "the wide-and-slow sweet spot (800G aggregate)",
-		Claim:   "hundreds of parallel low-speed channels beat a few high-speed ones on energy",
-		Columns: []string{"chan_rate_Gbps", "channels", "pJ/bit", "per_chan_mW"},
-	}
+	t := tableFor("E9")
+	t.Columns = []string{"chan_rate_Gbps", "channels", "pJ/bit", "per_chan_mW"}
 	for _, r := range []float64{0.5e9, 1e9, 2e9, 3e9, 5e9, 8e9, 12.5e9, 25e9, 50e9} {
 		n := int(math.Ceil(800e9 / r))
 		t.AddRow(fm(r/1e9, 1), fmt.Sprintf("%d", n),

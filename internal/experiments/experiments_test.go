@@ -41,11 +41,72 @@ func cellF(t *testing.T, tab Table, row, col int) float64 {
 }
 
 func TestAllExperimentsRun(t *testing.T) {
-	for _, e := range All(1) {
-		tab, err := e.Gen()
-		out := render(t, tab, err)
-		if !strings.Contains(out, e.ID) {
-			t.Errorf("%s: output missing ID", e.ID)
+	// Run the whole registry through the parallel runner: every generator
+	// must produce a well-formed table carrying its registered ID.
+	results, err := Run(nil, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(Registry()) {
+		t.Fatalf("got %d results, registry has %d", len(results), len(Registry()))
+	}
+	for i, r := range results {
+		if r.Experiment.ID != Registry()[i].ID {
+			t.Errorf("result %d is %s, want registry order %s", i, r.Experiment.ID, Registry()[i].ID)
+		}
+		out := render(t, r.Table, r.Err)
+		if !strings.Contains(out, r.Experiment.ID) {
+			t.Errorf("%s: output missing ID", r.Experiment.ID)
+		}
+	}
+}
+
+func TestRegistryMetadata(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Registry() {
+		if e.ID == "" || e.Title == "" || e.Gen == nil {
+			t.Errorf("incomplete registry entry %+v", e)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment ID %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if _, ok := Lookup("E10"); !ok {
+		t.Error("Lookup(E10) failed")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup(nope) should fail")
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run([]string{"E1", "bogus"}, 1, 1); err == nil {
+		t.Fatal("unknown ID must fail before running anything")
+	}
+}
+
+func TestRunParallelMatchesSerial(t *testing.T) {
+	// A parallel run must produce byte-identical tables in the same order
+	// as a serial run: each generator owns its seeded random state.
+	ids := []string{"E5", "E9", "E10", "A3"}
+	serial, err := Run(ids, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(ids, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(par) {
+		t.Fatalf("result counts differ: %d vs %d", len(serial), len(par))
+	}
+	for i := range serial {
+		var a, b bytes.Buffer
+		serial[i].Table.Fprint(&a)
+		par[i].Table.Fprint(&b)
+		if a.String() != b.String() {
+			t.Errorf("%s: parallel output differs from serial", serial[i].Experiment.ID)
 		}
 	}
 }

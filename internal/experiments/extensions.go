@@ -16,12 +16,8 @@ import (
 // E13Temperature sweeps case temperature: microLED vs laser optical power
 // penalty and the wear-out acceleration each suffers.
 func E13Temperature() (Table, error) {
-	t := Table{
-		ID:      "E13",
-		Title:   "thermal behaviour: microLED vs lasers",
-		Claim:   "directly-modulated microLEDs eliminate power-hungry, temperature-fragile lasers",
-		Columns: []string{"temp_K", "LED_penalty_dB", "VCSEL_penalty_dB", "DFB_penalty_dB", "wearout_accel"},
-	}
+	t := tableFor("E13")
+	t.Columns = []string{"temp_K", "LED_penalty_dB", "VCSEL_penalty_dB", "DFB_penalty_dB", "wearout_accel"}
 	led := photonics.DefaultMicroLED()
 	iLED := led.NominalCurrent()
 	vcsel := photonics.VCSEL850()
@@ -53,12 +49,8 @@ func fmtPenalty(v float64) string {
 // E14Latency compares one-way link latency across technologies, including
 // the Mosaic unit-size knob.
 func E14Latency() (Table, error) {
-	t := Table{
-		ID:      "E14",
-		Title:   "one-way link latency at 800G (module/PHY only, excl. flight time ~5ns/m)",
-		Claim:   "protocol-agnostic integration — latency is set by architecture, not distance class",
-		Columns: []string{"config", "serialize_ns", "fec_ns", "other_ns", "total_ns"},
-	}
+	t := tableFor("E14")
+	t.Columns = []string{"config", "serialize_ns", "fec_ns", "other_ns", "total_ns"}
 	// Conventional references (per-lane accumulation + decode pipelines):
 	// KP4 block = 5440 bits at 106.25G = 51ns, DSP ~60ns, decode ~150ns.
 	t.AddRow("DAC (passive)", "0", "0", "5", "5")
@@ -86,12 +78,8 @@ func E14Latency() (Table, error) {
 // E15Cost compares deployed-link cost across reach, locating the band
 // where Mosaic is the cheapest buildable option.
 func E15Cost() (Table, error) {
-	t := Table{
-		ID:      "E15",
-		Title:   "deployed 800G link cost vs length (modules + cable)",
-		Claim:   "a practical and scalable link solution (display/endoscopy supply chains)",
-		Columns: []string{"length_m", "DAC", "AOC", "DR", "LPO", "CPO", "Mosaic", "cheapest"},
-	}
+	t := tableFor("E15")
+	t.Columns = []string{"length_m", "DAC", "AOC", "DR", "LPO", "CPO", "Mosaic", "cheapest"}
 	techs := power.AllTechs()
 	for _, l := range []float64{1, 2, 3, 5, 10, 20, 30, 50, 100} {
 		row := []string{fm(l, 0)}
@@ -119,12 +107,8 @@ func E15Cost() (Table, error) {
 // KP4, no spares) and 400×2G (+16 spares) and kills one transmitter in
 // each: the architectural failure-mode contrast in one table.
 func E16BlastRadius(seed int64) (Table, error) {
-	t := Table{
-		ID:      "E16",
-		Title:   "failure blast radius: one dead transmitter, 800G aggregate",
-		Claim:   "a laser death is a link death; a microLED death is 0.25% of capacity (and spared)",
-		Columns: []string{"architecture", "healthy", "after 1 death", "after repair action"},
-	}
+	t := tableFor("E16")
+	t.Columns = []string{"architecture", "healthy", "after 1 death", "after repair action"}
 	rng := randFrames(seed, 100, 1500)
 
 	run := func(cfg phy.Config) (h, dead, repaired string, err error) {
@@ -175,12 +159,8 @@ func E16BlastRadius(seed int64) (Table, error) {
 // channel's eye. This is where the conventional transceiver's dominant
 // power consumer comes from, and why Mosaic doesn't have one.
 func E17Equalization() (Table, error) {
-	t := Table{
-		ID:      "E17",
-		Title:   "equalization burden (FFE taps to reach ISI <= 0.3)",
-		Claim:   "eliminating ... complex electronics: 2 Gbps channels need no equalization at all",
-		Columns: []string{"channel", "baud_G", "raw_ISI", "taps_needed", "eq_eye"},
-	}
+	t := tableFor("E17")
+	t.Columns = []string{"channel", "baud_G", "raw_ISI", "taps_needed", "eq_eye"}
 	d := core.DefaultDesign()
 	res, err := d.NominalChannel()
 	if err != nil {
@@ -243,12 +223,8 @@ func randFrames(seed int64, n, size int) [][]byte {
 // the channel count but needs ~5 dB more optical budget — the wrong trade
 // for LED launch powers.
 func A5Modulation() (Table, error) {
-	t := Table{
-		ID:      "A5",
-		Title:   "ablation: per-channel modulation (NRZ vs PAM4 at equal aggregate)",
-		Claim:   "design choice: stay at NRZ and scale width, not symbol density",
-		Columns: []string{"scheme", "chan_rate", "channels", "BER@20m", "BER@40m", "reach_m"},
-	}
+	t := tableFor("A5")
+	t.Columns = []string{"scheme", "chan_rate", "channels", "BER@20m", "BER@40m", "reach_m"}
 	type variant struct {
 		name string
 		mod  channel.Modulation

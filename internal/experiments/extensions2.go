@@ -13,12 +13,8 @@ import (
 // frame success rate vs injected channel BER for each FEC scheme. It is
 // the measured counterpart of the analytic post-FEC column of E5.
 func E18Waterfall(seed int64) (Table, error) {
-	t := Table{
-		ID:      "E18",
-		Title:   "FEC waterfall on the bit-true link (frame delivery vs channel BER)",
-		Claim:   "light FEC turns the residual error floor into error-free operation",
-		Columns: []string{"BER", "none", "hamming72", "rslite", "kp4"},
-	}
+	t := tableFor("E18")
+	t.Columns = []string{"BER", "none", "hamming72", "rslite", "kp4"}
 	frames := randFrames(seed, 150, 1500)
 	fecs := []phy.FEC{phy.NoFEC{}, phy.HammingFEC{}, phy.NewRSLite(), phy.NewRSKP4()}
 	for _, ber := range []float64{1e-7, 1e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3} {
@@ -50,12 +46,8 @@ func E18Waterfall(seed int64) (Table, error) {
 // E20FleetTCO compares 5-year total cost of ownership (link capex + energy
 // opex) across deployment plans and fabric sizes.
 func E20FleetTCO() (Table, error) {
-	t := Table{
-		ID:      "E20",
-		Title:   "fleet TCO: link capex + 5-year energy opex (800G links)",
-		Claim:   "a practical and scalable link solution for the future of networking",
-		Columns: []string{"fabric", "plan", "capex_$k", "opex_$k/yr", "5yr_TCO_$k", "vs_all-optics"},
-	}
+	t := tableFor("E20")
+	t.Columns = []string{"fabric", "plan", "capex_$k", "opex_$k/yr", "5yr_TCO_$k", "vs_all-optics"}
 	fabrics := []struct {
 		name string
 		topo func() (*netsim.Topology, error)
@@ -95,12 +87,8 @@ func E20FleetTCO() (Table, error) {
 // a link that proactively spares degrading channels against one that waits
 // for hard failure. LEDs age gracefully; the monitor sees it coming.
 func E21PredictiveMaintenance(seed int64) (Table, error) {
-	t := Table{
-		ID:      "E21",
-		Title:   "predictive maintenance: aging channel, proactive vs reactive sparing",
-		Claim:   "per-channel FEC telemetry turns graceful LED aging into zero-loss replacement",
-		Columns: []string{"aging_BER", "proactive_lost", "proactive_state", "reactive_lost", "reactive_state"},
-	}
+	t := tableFor("E21")
+	t.Columns = []string{"aging_BER", "proactive_lost", "proactive_state", "reactive_lost", "reactive_state"}
 	mk := func() (*phy.Link, error) {
 		cfg := phy.DefaultConfig()
 		cfg.Lanes = 20
@@ -155,12 +143,8 @@ func E21PredictiveMaintenance(seed int64) (Table, error) {
 // E19OpticsBudget sweeps the imaging train: lens NA, emitter beaming, and
 // defocus, each against the resulting link reach.
 func E19OpticsBudget() (Table, error) {
-	t := Table{
-		ID:      "E19",
-		Title:   "imaging-optics budget: lens choice and focus tolerance vs reach",
-		Claim:   "massively multi-core imaging fibers + simple imaging optics make spatial multiplexing practical",
-		Columns: []string{"variant", "spot_um", "optics_loss_dB", "reach_m"},
-	}
+	t := tableFor("E19")
+	t.Columns = []string{"variant", "spot_um", "optics_loss_dB", "reach_m"}
 	base := core.DefaultDesign()
 	add := func(name string, o fiber.ImagingOptics, chip float64) error {
 		d, err := base.WithOptics(o, chip)

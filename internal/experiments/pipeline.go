@@ -15,12 +15,8 @@ import (
 // E5PrototypeBER reproduces the 100-channel prototype's per-channel BER
 // distribution with manufacturing variation, pre- and post-FEC.
 func E5PrototypeBER(seed int64) (Table, error) {
-	t := Table{
-		ID:      "E5",
-		Title:   "per-channel BER distribution, 100-channel prototype",
-		Claim:   "\"an end-to-end Mosaic prototype with 100 optical channels, each transmitting at 2Gbps\"",
-		Columns: []string{"percentile", "pre_FEC_BER", "post_FEC_blockerr"},
-	}
+	t := tableFor("E5")
+	t.Columns = []string{"percentile", "pre_FEC_BER", "post_FEC_blockerr"}
 	d := core.DefaultDesign()
 	d.Seed = seed
 	d.LengthM = 40 // long enough that variation is visible
@@ -86,12 +82,8 @@ func sortFloats(v []float64) {
 // E10EndToEnd drives the bit-true 100-channel PHY over increasing reach and
 // reports delivery, corrections, and efficiency.
 func E10EndToEnd(seed int64) (Table, error) {
-	t := Table{
-		ID:      "E10",
-		Title:   "bit-true end-to-end pipeline vs reach (100ch x 2G, RS-lite FEC)",
-		Claim:   "error-free end-to-end operation at the prototype point; graceful FEC takeover toward max reach",
-		Columns: []string{"length_m", "frames_ok", "frames_bad", "corrections", "goodput_frac"},
-	}
+	t := tableFor("E10")
+	t.Columns = []string{"length_m", "frames_ok", "frames_bad", "corrections", "goodput_frac"}
 	rng := rand.New(rand.NewSource(seed))
 	frames := make([][]byte, 200)
 	for i := range frames {
@@ -124,12 +116,8 @@ func E10EndToEnd(seed int64) (Table, error) {
 // E11Datacenter compares network-wide link power and failure rates for the
 // three deployment plans on fat-trees.
 func E11Datacenter() (Table, error) {
-	t := Table{
-		ID:      "E11",
-		Title:   "network-wide link power and failures (800G links)",
-		Claim:   "seamless integration with existing infrastructure; fleet-level power and reliability win",
-		Columns: []string{"fat-tree_k", "hosts", "plan", "power_kW", "vs_all-optics", "link_failures/yr"},
-	}
+	t := tableFor("E11")
+	t.Columns = []string{"fat-tree_k", "hosts", "plan", "power_kW", "vs_all-optics", "link_failures/yr"}
 	for _, k := range []int{8, 16, 24} {
 		topo, err := netsim.NewFatTree(k, 800e9)
 		if err != nil {
@@ -160,12 +148,8 @@ func E11Datacenter() (Table, error) {
 // exhausted, capacity -4%) against optics-style link-down on the tail FCT
 // of a loaded fat-tree.
 func E12Degradation(seed int64) (Table, error) {
-	t := Table{
-		ID:      "E12",
-		Title:   "flow completion times under a mid-run link fault (fat-tree k=8, websearch load 0.4)",
-		Claim:   "channel failures degrade capacity gracefully instead of killing the link",
-		Columns: []string{"scenario", "flows", "stalled", "mean_FCT_ms", "p99_FCT_ms"},
-	}
+	t := tableFor("E12")
+	t.Columns = []string{"scenario", "flows", "stalled", "mean_FCT_ms", "p99_FCT_ms"}
 	scenarios := []struct {
 		name string
 		tier netsim.Tier
@@ -246,12 +230,8 @@ func runFaultScenario(seed int64, tier netsim.Tier, frac float64) (netsim.FCTSta
 // A1Oversampling contrasts many-core channel spots against single-core
 // mapping for misalignment tolerance.
 func A1Oversampling() (Table, error) {
-	t := Table{
-		ID:      "A1",
-		Title:   "ablation: oversampled core groups vs single-core mapping",
-		Claim:   "design choice: a channel = a group of cores, so alignment is coarse",
-		Columns: []string{"offset_um", "group_spot_40um_loss_dB", "single_core_4um_loss_dB"},
-	}
+	t := tableFor("A1")
+	t.Columns = []string{"offset_um", "group_spot_40um_loss_dB", "single_core_4um_loss_dB"}
 	d := core.DefaultDesign()
 	for _, off := range []float64{0, 1, 2, 5, 10, 15} {
 		group := d.Fiber.CouplingLossDB(40e-6, off*1e-6)
@@ -264,12 +244,8 @@ func A1Oversampling() (Table, error) {
 
 // A2FECChoice sweeps channel BER across FEC schemes on the bit-true link.
 func A2FECChoice(seed int64) (Table, error) {
-	t := Table{
-		ID:      "A2",
-		Title:   "ablation: per-channel FEC choice (100ch link, artificial BER)",
-		Claim:   "design choice: wide-and-slow channels need only a light FEC",
-		Columns: []string{"BER", "fec", "overhead", "frames_ok", "corrections"},
-	}
+	t := tableFor("A2")
+	t.Columns = []string{"BER", "fec", "overhead", "frames_ok", "corrections"}
 	rng := rand.New(rand.NewSource(seed))
 	frames := make([][]byte, 100)
 	for i := range frames {
@@ -303,12 +279,8 @@ func A2FECChoice(seed int64) (Table, error) {
 
 // A3UnitSize sweeps the stripe-unit / channel-frame size.
 func A3UnitSize(seed int64) (Table, error) {
-	t := Table{
-		ID:      "A3",
-		Title:   "ablation: stripe-unit size (framing overhead vs blast radius)",
-		Claim:   "design choice: per-channel frames balance overhead against loss blast radius",
-		Columns: []string{"unit_B", "goodput_frac", "frames_ok@1e-5"},
-	}
+	t := tableFor("A3")
+	t.Columns = []string{"unit_B", "goodput_frac", "frames_ok@1e-5"}
 	rng := rand.New(rand.NewSource(seed))
 	frames := make([][]byte, 100)
 	for i := range frames {
@@ -338,12 +310,8 @@ func A3UnitSize(seed int64) (Table, error) {
 
 // A4SparingPolicy injects successive channel deaths and tracks capacity.
 func A4SparingPolicy(seed int64) (Table, error) {
-	t := Table{
-		ID:      "A4",
-		Title:   "ablation: sparing policy under successive channel deaths (20 lanes)",
-		Claim:   "design choice: spares absorb failures invisibly, then the link degrades instead of dying",
-		Columns: []string{"failures", "with_4_spares_rate", "no_spares_rate", "with_spares_ok", "no_spares_ok"},
-	}
+	t := tableFor("A4")
+	t.Columns = []string{"failures", "with_4_spares_rate", "no_spares_rate", "with_spares_ok", "no_spares_ok"}
 	rng := rand.New(rand.NewSource(seed))
 	frames := make([][]byte, 50)
 	for i := range frames {
@@ -387,43 +355,4 @@ func A4SparingPolicy(seed int64) (Table, error) {
 			fmt.Sprintf("%d/%d", stB.FramesDelivered, stB.FramesIn))
 	}
 	return t, nil
-}
-
-// All returns every experiment generator keyed by ID, in presentation
-// order. Seeded generators use the given seed.
-func All(seed int64) []struct {
-	ID  string
-	Gen func() (Table, error)
-} {
-	return []struct {
-		ID  string
-		Gen func() (Table, error)
-	}{
-		{"E1", E1Tradeoff},
-		{"E2", E2PowerBreakdown},
-		{"E3", E3PowerScaling},
-		{"E4", E4ReachBudget},
-		{"E5", func() (Table, error) { return E5PrototypeBER(seed) }},
-		{"E6", E6Misalignment},
-		{"E7", E7Reliability},
-		{"E8", E8ScalingTable},
-		{"E9", E9SweetSpot},
-		{"E10", func() (Table, error) { return E10EndToEnd(seed) }},
-		{"E11", E11Datacenter},
-		{"E12", func() (Table, error) { return E12Degradation(seed) }},
-		{"E13", E13Temperature},
-		{"E14", E14Latency},
-		{"E15", E15Cost},
-		{"E16", func() (Table, error) { return E16BlastRadius(seed) }},
-		{"E17", E17Equalization},
-		{"E18", func() (Table, error) { return E18Waterfall(seed) }},
-		{"E19", E19OpticsBudget},
-		{"E20", E20FleetTCO},
-		{"E21", func() (Table, error) { return E21PredictiveMaintenance(seed) }},
-		{"A1", A1Oversampling},
-		{"A2", func() (Table, error) { return A2FECChoice(seed) }},
-		{"A3", func() (Table, error) { return A3UnitSize(seed) }},
-		{"A4", func() (Table, error) { return A4SparingPolicy(seed) }},
-		{"A5", A5Modulation},
-	}
 }

@@ -1,0 +1,299 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Experiment is one registered experiment: static metadata (usable
+// without running anything — listing is O(1)) plus the generator that
+// produces its table. Generators take the run seed explicitly, so every
+// experiment owns its random state and a parallel run is exactly as
+// deterministic as a serial one.
+type Experiment struct {
+	ID    string
+	Title string
+	Claim string // the abstract's wording this experiment validates
+	Gen   func(seed int64) (Table, error)
+}
+
+// unseeded adapts a deterministic (seedless) generator to the registry
+// signature.
+func unseeded(f func() (Table, error)) func(int64) (Table, error) {
+	return func(int64) (Table, error) { return f() }
+}
+
+// registry is the single source of experiment metadata, in presentation
+// order. Generators obtain their Table skeleton from it via tableFor, so
+// an ID/title/claim lives in exactly one place. (Filled in init: the
+// generators themselves call tableFor, which reads the registry, and a
+// composite-literal initializer would be an initialization cycle.)
+var registry []Experiment
+
+func init() {
+	registry = []Experiment{
+		{
+			ID:    "E1",
+			Title: "the reach/power/reliability trade-off at 800G",
+			Claim: "copper: power-efficient and reliable but <2m; optics: long reach, high power, low reliability; Mosaic: breaks the trade-off",
+			Gen:   unseeded(E1Tradeoff),
+		},
+		{
+			ID:    "E2",
+			Title: "component power breakdown at 800G",
+			Claim: "\"reducing power consumption by up to 69%\"",
+			Gen:   unseeded(E2PowerBreakdown),
+		},
+		{
+			ID:    "E3",
+			Title: "transceiver power vs aggregate rate",
+			Claim: "the optics/copper power gap widens with speed; Mosaic scales like copper",
+			Gen:   unseeded(E3PowerScaling),
+		},
+		{
+			ID:    "E4",
+			Title: "link budget and BER vs reach",
+			Claim: "\"over [25x] the reach of copper ... reach of up to 50m\"",
+			Gen:   unseeded(E4ReachBudget),
+		},
+		{
+			ID:    "E5",
+			Title: "per-channel BER distribution, 100-channel prototype",
+			Claim: "\"an end-to-end Mosaic prototype with 100 optical channels, each transmitting at 2Gbps\"",
+			Gen:   E5PrototypeBER,
+		},
+		{
+			ID:    "E6",
+			Title: "misalignment tolerance and crosstalk",
+			Claim: "massively multi-core imaging fibers make spatial multiplexing practical (coarse alignment suffices)",
+			Gen:   unseeded(E6Misalignment),
+		},
+		{
+			ID:    "E7",
+			Title: "link reliability vs spare channels (5-year mission)",
+			Claim: "\"offering higher reliability than today's optical links\"",
+			Gen:   unseeded(E7Reliability),
+		},
+		{
+			ID:    "E8",
+			Title: "scaling configurations at 2 Gbps/channel",
+			Claim: "\"scales to 800Gbps and beyond\"",
+			Gen:   unseeded(E8ScalingTable),
+		},
+		{
+			ID:    "E9",
+			Title: "the wide-and-slow sweet spot (800G aggregate)",
+			Claim: "hundreds of parallel low-speed channels beat a few high-speed ones on energy",
+			Gen:   unseeded(E9SweetSpot),
+		},
+		{
+			ID:    "E10",
+			Title: "bit-true end-to-end pipeline vs reach (100ch x 2G, RS-lite FEC)",
+			Claim: "error-free end-to-end operation at the prototype point; graceful FEC takeover toward max reach",
+			Gen:   E10EndToEnd,
+		},
+		{
+			ID:    "E11",
+			Title: "network-wide link power and failures (800G links)",
+			Claim: "seamless integration with existing infrastructure; fleet-level power and reliability win",
+			Gen:   unseeded(E11Datacenter),
+		},
+		{
+			ID:    "E12",
+			Title: "flow completion times under a mid-run link fault (fat-tree k=8, websearch load 0.4)",
+			Claim: "channel failures degrade capacity gracefully instead of killing the link",
+			Gen:   E12Degradation,
+		},
+		{
+			ID:    "E13",
+			Title: "thermal behaviour: microLED vs lasers",
+			Claim: "directly-modulated microLEDs eliminate power-hungry, temperature-fragile lasers",
+			Gen:   unseeded(E13Temperature),
+		},
+		{
+			ID:    "E14",
+			Title: "one-way link latency at 800G (module/PHY only, excl. flight time ~5ns/m)",
+			Claim: "protocol-agnostic integration — latency is set by architecture, not distance class",
+			Gen:   unseeded(E14Latency),
+		},
+		{
+			ID:    "E15",
+			Title: "deployed 800G link cost vs length (modules + cable)",
+			Claim: "a practical and scalable link solution (display/endoscopy supply chains)",
+			Gen:   unseeded(E15Cost),
+		},
+		{
+			ID:    "E16",
+			Title: "failure blast radius: one dead transmitter, 800G aggregate",
+			Claim: "a laser death is a link death; a microLED death is 0.25% of capacity (and spared)",
+			Gen:   E16BlastRadius,
+		},
+		{
+			ID:    "E17",
+			Title: "equalization burden (FFE taps to reach ISI <= 0.3)",
+			Claim: "eliminating ... complex electronics: 2 Gbps channels need no equalization at all",
+			Gen:   unseeded(E17Equalization),
+		},
+		{
+			ID:    "E18",
+			Title: "FEC waterfall on the bit-true link (frame delivery vs channel BER)",
+			Claim: "light FEC turns the residual error floor into error-free operation",
+			Gen:   E18Waterfall,
+		},
+		{
+			ID:    "E19",
+			Title: "imaging-optics budget: lens choice and focus tolerance vs reach",
+			Claim: "massively multi-core imaging fibers + simple imaging optics make spatial multiplexing practical",
+			Gen:   unseeded(E19OpticsBudget),
+		},
+		{
+			ID:    "E20",
+			Title: "fleet TCO: link capex + 5-year energy opex (800G links)",
+			Claim: "a practical and scalable link solution for the future of networking",
+			Gen:   unseeded(E20FleetTCO),
+		},
+		{
+			ID:    "E21",
+			Title: "predictive maintenance: aging channel, proactive vs reactive sparing",
+			Claim: "per-channel FEC telemetry turns graceful LED aging into zero-loss replacement",
+			Gen:   E21PredictiveMaintenance,
+		},
+		{
+			ID:    "A1",
+			Title: "ablation: oversampled core groups vs single-core mapping",
+			Claim: "design choice: a channel = a group of cores, so alignment is coarse",
+			Gen:   unseeded(A1Oversampling),
+		},
+		{
+			ID:    "A2",
+			Title: "ablation: per-channel FEC choice (100ch link, artificial BER)",
+			Claim: "design choice: wide-and-slow channels need only a light FEC",
+			Gen:   A2FECChoice,
+		},
+		{
+			ID:    "A3",
+			Title: "ablation: stripe-unit size (framing overhead vs blast radius)",
+			Claim: "design choice: per-channel frames balance overhead against loss blast radius",
+			Gen:   A3UnitSize,
+		},
+		{
+			ID:    "A4",
+			Title: "ablation: sparing policy under successive channel deaths (20 lanes)",
+			Claim: "design choice: spares absorb failures invisibly, then the link degrades instead of dying",
+			Gen:   A4SparingPolicy,
+		},
+		{
+			ID:    "A5",
+			Title: "ablation: per-channel modulation (NRZ vs PAM4 at equal aggregate)",
+			Claim: "design choice: stay at NRZ and scale width, not symbol density",
+			Gen:   unseeded(A5Modulation),
+		},
+	}
+}
+
+// Registry returns the registered experiments in presentation order.
+// The slice is a copy; the metadata is shared and must not be mutated.
+func Registry() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// tableFor returns a Table skeleton prefilled with the registered
+// metadata for id. It panics on an unregistered ID: generators and the
+// registry are maintained together, so a miss is a programming error.
+func tableFor(id string) Table {
+	e, ok := Lookup(id)
+	if !ok {
+		panic("experiments: no registry entry for " + id)
+	}
+	return Table{ID: e.ID, Title: e.Title, Claim: e.Claim}
+}
+
+// Result is one generated experiment: the metadata, its table, and the
+// generator error if any (Run does not stop on generator errors — a
+// broken experiment should not hide the other 25).
+type Result struct {
+	Experiment Experiment
+	Table      Table
+	Err        error
+}
+
+// Run generates the experiments named by ids (all of them if ids is
+// empty) with the given seed, fanning the generators out over up to par
+// goroutines (par <= 1 runs serially). Results always come back in
+// registry order, regardless of completion order. Unknown IDs make Run
+// fail before any generator starts.
+func Run(ids []string, seed int64, par int) ([]Result, error) {
+	sel := make([]int, 0, len(registry))
+	if len(ids) == 0 {
+		for i := range registry {
+			sel = append(sel, i)
+		}
+	} else {
+		chosen := make(map[int]bool, len(ids))
+		for _, id := range ids {
+			found := false
+			for i, e := range registry {
+				if e.ID == id {
+					chosen[i] = true
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+			}
+		}
+		for i := range registry {
+			if chosen[i] {
+				sel = append(sel, i)
+			}
+		}
+	}
+
+	results := make([]Result, len(sel))
+	gen := func(k int) {
+		e := registry[sel[k]]
+		tab, err := e.Gen(seed)
+		results[k] = Result{Experiment: e, Table: tab, Err: err}
+	}
+	if par <= 1 || len(sel) == 1 {
+		for k := range sel {
+			gen(k)
+		}
+		return results, nil
+	}
+	if par > len(sel) {
+		par = len(sel)
+	}
+	// Slot-indexed results: workers may finish in any order, the output
+	// order is fixed by sel.
+	work := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(par)
+	for w := 0; w < par; w++ {
+		go func() {
+			defer wg.Done()
+			for k := range work {
+				gen(k)
+			}
+		}()
+	}
+	for k := range sel {
+		work <- k
+	}
+	close(work)
+	wg.Wait()
+	return results, nil
+}

@@ -38,6 +38,15 @@ func (s LinkState) String() string {
 	}
 }
 
+// probeScratch holds ProbeChannel's reusable buffers. Bring-up is serial
+// (one probe at a time per link), so a single set suffices.
+type probeScratch struct {
+	payload []byte
+	wire    []byte
+	rx      []byte
+	body    []byte
+}
+
 // ProbeChannel sends `count` probe frames over one physical channel and
 // returns how many came back intact and how many errors the FEC corrected.
 // It exercises exactly the per-channel path traffic uses (framer + FEC +
@@ -47,21 +56,28 @@ func (l *Link) ProbeChannel(physical, count int) (ok, corrections int) {
 		return 0, 0
 	}
 	ch := l.channels[physical]
-	payload := make([]byte, l.framer.PayloadLen())
+	ps := &l.probe
+	if cap(ps.payload) < l.framer.PayloadLen() {
+		ps.payload = make([]byte, l.framer.PayloadLen())
+	}
+	payload := ps.payload[:l.framer.PayloadLen()]
 	for i := range payload {
 		payload[i] = byte(i*7 + physical) // deterministic test pattern
 	}
-	var wire []byte
-	for seq := 0; seq < count; seq++ {
-		wire = append(wire, l.framer.Encode(0x7fff, uint32(seq), payload)...)
+	wire := ps.wire[:0]
+	if need := count * l.framer.WireLen(); cap(wire) < need {
+		wire = make([]byte, 0, need)
 	}
-	received := ch.Transmit(wire)
-	frames, st := l.framer.DecodeStream(received)
-	for _, f := range frames {
-		if f.Lane == 0x7fff && byteEqual(f.Payload, payload) {
+	for seq := 0; seq < count; seq++ {
+		wire = l.framer.AppendFrame(wire, 0x7fff, uint32(seq), payload, &ps.body)
+	}
+	ps.wire = wire
+	ps.rx = ch.TransmitTo(ps.rx[:0], wire)
+	st := l.framer.ScanStream(ps.rx, &ps.body, func(lane int, _ uint32, got []byte, _ int) {
+		if lane == 0x7fff && byteEqual(got, payload) {
 			ok++
 		}
-	}
+	})
 	return ok, st.Corrections
 }
 

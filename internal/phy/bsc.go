@@ -67,7 +67,23 @@ func poisson(rng *rand.Rand, lambda float64) int {
 // (a fresh slice): skew prefix, then data with bit errors applied. The
 // input is not modified.
 func (c *BSC) Transmit(data []byte) []byte {
-	out := make([]byte, c.SkewBytes+len(data))
+	return c.TransmitTo(nil, data)
+}
+
+// TransmitTo is Transmit into a reusable buffer: the received bytes are
+// appended to dst (usually dst[:0] of a per-lane scratch slice) and the
+// extended slice returned. The random draw sequence is identical to
+// Transmit, so a fixed seed produces identical bytes either way.
+func (c *BSC) TransmitTo(dst, data []byte) []byte {
+	base := len(dst)
+	need := c.SkewBytes + len(data)
+	if cap(dst)-base < need {
+		grown := make([]byte, base, base+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:base+need]
+	out := dst[base:]
 	for i := 0; i < c.SkewBytes; i++ {
 		out[i] = byte(c.rng.Intn(256))
 	}
@@ -78,10 +94,10 @@ func (c *BSC) Transmit(data []byte) []byte {
 		for i := range body {
 			body[i] = byte(c.rng.Intn(256))
 		}
-		return out
+		return dst
 	}
 	if c.BER <= 0 || len(body) == 0 {
-		return out
+		return dst
 	}
 	nbits := float64(len(body)) * 8
 	// For low BER, draw the number of errors (binomial ~= Poisson) and
@@ -91,5 +107,5 @@ func (c *BSC) Transmit(data []byte) []byte {
 		pos := c.rng.Intn(len(body) * 8)
 		body[pos/8] ^= 1 << uint(pos%8)
 	}
-	return out
+	return dst
 }

@@ -3,6 +3,7 @@ package phy
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"mosaic/internal/coding/hamming"
 	"mosaic/internal/coding/rs"
@@ -28,6 +29,13 @@ type FEC interface {
 	// corrected symbol/bit errors. It returns an error when a block was
 	// uncorrectable (the returned bytes are then best-effort).
 	Decode(encoded []byte, plainLen int) ([]byte, int, error)
+	// AppendEncode appends the encoded bytes to dst and returns the
+	// extended slice; the allocation-aware hot path uses this so one
+	// per-lane wire buffer absorbs every frame.
+	AppendEncode(dst, plain []byte) []byte
+	// AppendDecode appends plainLen decoded bytes to dst; semantics
+	// otherwise match Decode.
+	AppendDecode(dst, encoded []byte, plainLen int) ([]byte, int, error)
 }
 
 // ErrFECOverload indicates at least one code block was uncorrectable.
@@ -60,6 +68,19 @@ func (NoFEC) Decode(encoded []byte, plainLen int) ([]byte, int, error) {
 	return append([]byte(nil), encoded[:plainLen]...), 0, nil
 }
 
+// AppendEncode implements FEC.
+func (NoFEC) AppendEncode(dst, plain []byte) []byte {
+	return append(dst, plain...)
+}
+
+// AppendDecode implements FEC.
+func (NoFEC) AppendDecode(dst, encoded []byte, plainLen int) ([]byte, int, error) {
+	if plainLen > len(encoded) {
+		return dst, 0, fmt.Errorf("phy: NoFEC stream shorter (%d) than plaintext (%d)", len(encoded), plainLen)
+	}
+	return append(dst, encoded[:plainLen]...), 0, nil
+}
+
 // --- Hamming(72,64) SEC-DED ---
 
 // HammingFEC protects each 8-byte word with one check byte: 12.5% overhead,
@@ -80,9 +101,14 @@ func (HammingFEC) EncodedLen(n int) int {
 }
 
 // Encode implements FEC.
-func (HammingFEC) Encode(plain []byte) []byte {
+func (h HammingFEC) Encode(plain []byte) []byte {
 	words := (len(plain) + 7) / 8
-	out := make([]byte, 0, words*9)
+	return h.AppendEncode(make([]byte, 0, words*9), plain)
+}
+
+// AppendEncode implements FEC.
+func (HammingFEC) AppendEncode(out, plain []byte) []byte {
+	words := (len(plain) + 7) / 8
 	for w := 0; w < words; w++ {
 		var v uint64
 		for i := 0; i < 8; i++ {
@@ -101,12 +127,17 @@ func (HammingFEC) Encode(plain []byte) []byte {
 }
 
 // Decode implements FEC.
-func (HammingFEC) Decode(encoded []byte, plainLen int) ([]byte, int, error) {
+func (h HammingFEC) Decode(encoded []byte, plainLen int) ([]byte, int, error) {
+	return h.AppendDecode(make([]byte, 0, plainLen), encoded, plainLen)
+}
+
+// AppendDecode implements FEC.
+func (HammingFEC) AppendDecode(out, encoded []byte, plainLen int) ([]byte, int, error) {
 	words := (plainLen + 7) / 8
 	if len(encoded) < words*9 {
-		return nil, 0, fmt.Errorf("phy: hamming stream truncated: %d < %d", len(encoded), words*9)
+		return out, 0, fmt.Errorf("phy: hamming stream truncated: %d < %d", len(encoded), words*9)
 	}
-	out := make([]byte, 0, plainLen)
+	base := len(out)
 	corrections := 0
 	var firstErr error
 	for w := 0; w < words; w++ {
@@ -125,7 +156,7 @@ func (HammingFEC) Decode(encoded []byte, plainLen int) ([]byte, int, error) {
 				firstErr = fmt.Errorf("%w: word %d: %v", ErrFECOverload, w, err)
 			}
 		}
-		for i := 0; i < 8 && len(out) < plainLen; i++ {
+		for i := 0; i < 8 && len(out) < base+plainLen; i++ {
 			out = append(out, byte(data>>uint(8*i)))
 		}
 	}
@@ -143,6 +174,17 @@ func (HammingFEC) Decode(encoded []byte, plainLen int) ([]byte, int, error) {
 type RSFEC struct {
 	code     *rs.Code
 	symBytes int
+	// scratch pools per-call symbol buffers so the concurrent per-lane
+	// workers share one allocation-free codec.
+	scratch sync.Pool
+}
+
+// rsScratch holds the symbol-domain working set for one encode or decode
+// call: data/received symbols, the output codeword, and syndrome space.
+type rsScratch struct {
+	word []int
+	cw   []int
+	syn  []int
 }
 
 // NewRSLite returns the light per-channel RS(68,64) over GF(2^8): t=2 per
@@ -166,7 +208,15 @@ func NewRSFEC(c *rs.Code) *RSFEC {
 	if c.Field().Size() > 256 {
 		sb = 2
 	}
-	return &RSFEC{code: c, symBytes: sb}
+	f := &RSFEC{code: c, symBytes: sb}
+	f.scratch.New = func() any {
+		return &rsScratch{
+			word: make([]int, c.N()),
+			cw:   make([]int, c.N()),
+			syn:  make([]int, c.Parity()),
+		}
+	}
+	return f
 }
 
 // Name implements FEC.
@@ -203,10 +253,23 @@ func (r *RSFEC) getSym(src []byte) int {
 
 // Encode implements FEC.
 func (r *RSFEC) Encode(plain []byte) []byte {
+	return r.AppendEncode(nil, plain)
+}
+
+// AppendEncode implements FEC.
+func (r *RSFEC) AppendEncode(dst, plain []byte) []byte {
 	k, n := r.code.K(), r.code.N()
 	blocks := (len(plain) + k - 1) / k
-	out := make([]byte, blocks*n*r.symBytes)
-	syms := make([]int, k)
+	base := len(dst)
+	need := blocks * n * r.symBytes
+	if cap(dst)-base < need {
+		grown := make([]byte, base, base+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:base+need]
+	sc := r.scratch.Get().(*rsScratch)
+	syms := sc.word[:k]
 	for b := 0; b < blocks; b++ {
 		for i := 0; i < k; i++ {
 			idx := b*k + i
@@ -216,49 +279,56 @@ func (r *RSFEC) Encode(plain []byte) []byte {
 				syms[i] = 0
 			}
 		}
-		cw, err := r.code.Encode(syms)
-		if err != nil {
+		if err := r.code.EncodeTo(sc.cw, syms); err != nil {
 			panic(err) // symbols are bytes; cannot be out of range
 		}
-		base := b * n * r.symBytes
-		for i, s := range cw {
-			r.putSym(out[base+i*r.symBytes:], s)
+		off := base + b*n*r.symBytes
+		for i, s := range sc.cw {
+			r.putSym(dst[off+i*r.symBytes:], s)
 		}
 	}
-	return out
+	r.scratch.Put(sc)
+	return dst
 }
 
 // Decode implements FEC.
 func (r *RSFEC) Decode(encoded []byte, plainLen int) ([]byte, int, error) {
+	return r.AppendDecode(make([]byte, 0, plainLen), encoded, plainLen)
+}
+
+// AppendDecode implements FEC.
+func (r *RSFEC) AppendDecode(dst, encoded []byte, plainLen int) ([]byte, int, error) {
 	k, n := r.code.K(), r.code.N()
 	blocks := (plainLen + k - 1) / k
 	need := blocks * n * r.symBytes
 	if len(encoded) < need {
-		return nil, 0, fmt.Errorf("phy: RS stream truncated: %d < %d", len(encoded), need)
+		return dst, 0, fmt.Errorf("phy: RS stream truncated: %d < %d", len(encoded), need)
 	}
-	out := make([]byte, 0, plainLen)
+	start := len(dst)
 	corrections := 0
 	var firstErr error
-	word := make([]int, n)
+	sc := r.scratch.Get().(*rsScratch)
 	for b := 0; b < blocks; b++ {
 		base := b * n * r.symBytes
 		for i := 0; i < n; i++ {
-			word[i] = r.getSym(encoded[base+i*r.symBytes:])
+			sc.word[i] = r.getSym(encoded[base+i*r.symBytes:])
 		}
-		fixed, ncorr, err := r.code.Decode(word)
+		ncorr, err := r.code.DecodeTo(sc.cw, sc.word, sc.syn)
+		fixed := sc.cw
 		if err != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("%w: block %d: %v", ErrFECOverload, b, err)
 			}
-			fixed = word // best effort: pass through
+			fixed = sc.word // best effort: pass through
 		}
 		corrections += ncorr
 		data := r.code.Data(fixed)
-		for i := 0; i < k && len(out) < plainLen; i++ {
-			out = append(out, byte(data[i]))
+		for i := 0; i < k && len(dst) < start+plainLen; i++ {
+			dst = append(dst, byte(data[i]))
 		}
 	}
-	return out, corrections, firstErr
+	r.scratch.Put(sc)
+	return dst, corrections, firstErr
 }
 
 // FECByName returns a FEC scheme by its configuration name; used by CLIs.

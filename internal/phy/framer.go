@@ -63,20 +63,30 @@ type ChannelFrame struct {
 
 // Encode serialises one frame to wire bytes.
 func (f *Framer) Encode(lane int, seq uint32, payload []byte) []byte {
+	var scratch []byte
+	return f.AppendFrame(make([]byte, 0, f.WireLen()), lane, seq, payload, &scratch)
+}
+
+// AppendFrame serialises one frame onto dst and returns the extended
+// slice. bodyScratch is a reusable buffer for the pre-FEC frame body
+// (grown as needed); pass the same pointer on every call from one worker
+// so the hot path stays allocation-free.
+func (f *Framer) AppendFrame(dst []byte, lane int, seq uint32, payload []byte, bodyScratch *[]byte) []byte {
 	if len(payload) != f.payloadLen {
 		panic("phy: payload length mismatch")
 	}
-	body := make([]byte, f.bodyLen)
+	if cap(*bodyScratch) < f.bodyLen {
+		*bodyScratch = make([]byte, f.bodyLen)
+	}
+	body := (*bodyScratch)[:f.bodyLen]
 	binary.BigEndian.PutUint16(body[0:2], uint16(lane))
 	binary.BigEndian.PutUint32(body[2:6], seq)
 	copy(body[6:6+f.payloadLen], payload)
 	crc := crc32.ChecksumIEEE(body[:6+f.payloadLen])
 	binary.BigEndian.PutUint32(body[6+f.payloadLen:], crc)
 
-	enc := f.fec.Encode(body)
-	out := make([]byte, 0, 2+len(enc))
-	out = append(out, marker0, marker1)
-	return append(out, enc...)
+	dst = append(dst, marker0, marker1)
+	return f.fec.AppendEncode(dst, body)
 }
 
 // DecodeStats reports what the decoder saw on one channel's stream.
@@ -93,6 +103,24 @@ type DecodeStats struct {
 // verifies the CRC, and resynchronizes on failure.
 func (f *Framer) DecodeStream(stream []byte) ([]ChannelFrame, DecodeStats) {
 	var frames []ChannelFrame
+	var scratch []byte
+	st := f.ScanStream(stream, &scratch, func(lane int, seq uint32, payload []byte, ncorr int) {
+		frames = append(frames, ChannelFrame{
+			Lane:        lane,
+			Seq:         seq,
+			Payload:     append([]byte(nil), payload...),
+			Corrections: ncorr,
+		})
+	})
+	return frames, st
+}
+
+// ScanStream is the allocation-free core of DecodeStream: it hunts for the
+// marker, FEC-decodes the fixed-size body into bodyScratch (reused across
+// frames), verifies the CRC, and calls emit for every recovered frame.
+// The payload slice passed to emit aliases bodyScratch and is only valid
+// for the duration of the callback — copy it out if it must survive.
+func (f *Framer) ScanStream(stream []byte, bodyScratch *[]byte, emit func(lane int, seq uint32, payload []byte, ncorr int)) DecodeStats {
 	var st DecodeStats
 	i := 0
 	for i+f.WireLen() <= len(stream) {
@@ -102,7 +130,10 @@ func (f *Framer) DecodeStream(stream []byte) ([]ChannelFrame, DecodeStats) {
 			continue
 		}
 		enc := stream[i+2 : i+2+f.encLen]
-		body, ncorr, fecErr := f.fec.Decode(enc, f.bodyLen)
+		body, ncorr, fecErr := f.fec.AppendDecode((*bodyScratch)[:0], enc, f.bodyLen)
+		if cap(body) > cap(*bodyScratch) {
+			*bodyScratch = body
+		}
 		if fecErr != nil {
 			st.FECOverloads++
 		}
@@ -110,14 +141,9 @@ func (f *Framer) DecodeStream(stream []byte) ([]ChannelFrame, DecodeStats) {
 			crcWant := binary.BigEndian.Uint32(body[6+f.payloadLen:])
 			crcGot := crc32.ChecksumIEEE(body[:6+f.payloadLen])
 			if crcWant == crcGot {
-				payload := make([]byte, f.payloadLen)
-				copy(payload, body[6:6+f.payloadLen])
-				frames = append(frames, ChannelFrame{
-					Lane:        int(binary.BigEndian.Uint16(body[0:2])),
-					Seq:         binary.BigEndian.Uint32(body[2:6]),
-					Payload:     payload,
-					Corrections: ncorr,
-				})
+				emit(int(binary.BigEndian.Uint16(body[0:2])),
+					binary.BigEndian.Uint32(body[2:6]),
+					body[6:6+f.payloadLen], ncorr)
 				st.Frames++
 				st.Corrections += ncorr
 				i += f.WireLen()
@@ -129,5 +155,5 @@ func (f *Framer) DecodeStream(stream []byte) ([]ChannelFrame, DecodeStats) {
 		i++
 		st.SkippedBytes++
 	}
-	return frames, st
+	return st
 }

@@ -64,7 +64,8 @@ func FuzzParseFramesNeverPanics(f *testing.F) {
 	f.Add([]byte{0x01, 1, 2, 3, 4, 5, 6, 7, 8})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var st ExchangeStats
-		frames := parseFrames(data, &st)
+		var scratch []byte
+		frames := parseFrames(data, &st, &scratch)
 		// An FCS collision on random garbage is ~2^-32 per candidate;
 		// tolerate it but verify sizes are sane.
 		for _, fr := range frames {

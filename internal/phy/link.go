@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math/rand"
-	"sync"
 
 	"mosaic/internal/coding/linecode"
 )
@@ -21,6 +20,10 @@ type Config struct {
 	// paper's operating point); used for throughput/latency accounting.
 	PerChannelBitRate float64
 	Seed              int64
+	// Workers caps how many pool workers the per-lane pipeline stage may
+	// use: 0 means runtime.GOMAXPROCS, 1 runs the lanes inline (serial).
+	// Results are bit-identical for any value — see pool.go.
+	Workers int
 }
 
 // DefaultConfig returns the paper's prototype configuration: 100 channels
@@ -67,6 +70,13 @@ type Link struct {
 	mapper   *Mapper
 	monitor  *Monitor
 	channels []*BSC // indexed by physical channel
+
+	// Reusable pipeline state: the scrambler pair is Reset to the spec
+	// seed on every Exchange, and scratch holds the stage buffers.
+	scrambler   *linecode.Scrambler
+	descrambler *linecode.Descrambler
+	scratch     linkScratch
+	probe       probeScratch
 }
 
 // New builds a link. The channels start error-free; use SetChannelBER (or
@@ -89,10 +99,12 @@ func New(cfg Config) (*Link, error) {
 		return nil, err
 	}
 	l := &Link{
-		cfg:     cfg,
-		framer:  NewFramer(cfg.FEC, cfg.UnitLen),
-		mapper:  mapper,
-		monitor: NewMonitor(cfg.Lanes+cfg.Spares, DefaultMonitorConfig()),
+		cfg:         cfg,
+		framer:      NewFramer(cfg.FEC, cfg.UnitLen),
+		mapper:      mapper,
+		monitor:     NewMonitor(cfg.Lanes+cfg.Spares, DefaultMonitorConfig()),
+		scrambler:   linecode.NewScrambler(scramblerSeed),
+		descrambler: linecode.NewDescrambler(scramblerSeed),
 	}
 	l.channels = make([]*BSC, cfg.Lanes+cfg.Spares)
 	for i := range l.channels {
@@ -178,123 +190,46 @@ type ExchangeStats struct {
 // and returns the frames the far end recovered plus statistics.
 // Frames must be at least 3 bytes (they gain a 4-byte FCS and must fill
 // the 7-byte start block).
+//
+// The pipeline is staged (see pipeline.go); all buffers are reused across
+// calls and the per-lane stage runs on the persistent worker pool, so the
+// steady state allocates only the returned frames.
 func (l *Link) Exchange(frames [][]byte) ([][]byte, ExchangeStats, error) {
 	var st ExchangeStats
 	st.FramesIn = len(frames)
 	st.PerChannel = make(map[int]DecodeStats)
 
 	// --- TX: frames -> blocks -> byte stream ---
-	var blocks []linecode.Block
-	for _, f := range frames {
-		if len(f) < 3 {
-			return nil, st, fmt.Errorf("phy: frame of %d bytes below minimum 3", len(f))
-		}
-		st.PayloadBytes += len(f)
-		withFCS := make([]byte, 0, len(f)+4)
-		withFCS = append(withFCS, f...)
-		var fcs [4]byte
-		binary.BigEndian.PutUint32(fcs[:], crc32.ChecksumIEEE(f))
-		withFCS = append(withFCS, fcs[:]...)
-		bs, err := linecode.FrameToBlocks(withFCS)
-		if err != nil {
-			return nil, st, err
-		}
-		blocks = append(blocks, bs...)
-		blocks = append(blocks, linecode.IdleBlock())
-	}
-	// Pad with idle blocks to a whole number of stripe units so the
-	// gearbox never has to invent fill bytes after scrambling.
-	unitBlocks := l.cfg.UnitLen / 9
-	for len(blocks)%unitBlocks != 0 {
-		blocks = append(blocks, linecode.IdleBlock())
-	}
-	stream := make([]byte, 0, 9*len(blocks))
-	for _, b := range blocks {
-		sync, payload, err := b.Encode()
-		if err != nil {
-			return nil, st, err
-		}
-		stream = append(stream, sync)
-		stream = append(stream, payload[:]...)
+	stream, err := l.stageEncode(frames, &st)
+	if err != nil {
+		return nil, st, err
 	}
 
 	// --- Scramble ---
-	linecode.NewScrambler(scramblerSeed).Scramble(stream)
+	l.scrambler.Reset(scramblerSeed)
+	l.scrambler.Scramble(stream)
 
-	// --- Stripe across active lanes ---
+	// --- Stripe across active lanes + per-channel transmit/decode ---
 	lanes := l.mapper.NumLanes()
 	if lanes == 0 {
 		return nil, st, errors.New("phy: link is down (no active lanes)")
 	}
-	units := Stripe(stream, lanes, l.cfg.UnitLen)
-	totalUnits := (len(stream) + l.cfg.UnitLen - 1) / l.cfg.UnitLen
+	// stageEncode pads to whole units, so the stream stripes exactly.
+	totalUnits := len(stream) / l.cfg.UnitLen
 	st.UnitsTotal = totalUnits
+	states := l.scratch.laneStates(lanes)
+	rxStream := l.scratch.rxStreamBuf(len(stream))
+	forEachLane(lanes, l.cfg.Workers, func(lane int) {
+		l.stageLane(lane, lanes, totalUnits, stream, rxStream, &states[lane])
+	})
 
-	// --- Per-channel transmit + receive-decode, in parallel ---
-	type laneResult struct {
-		lane     int
-		physical int
-		frames   []ChannelFrame
-		stats    DecodeStats
-		expected int
-		wire     int
-	}
-	results := make([]laneResult, lanes)
-	var wg sync.WaitGroup
-	for lane := 0; lane < lanes; lane++ {
-		wg.Add(1)
-		go func(lane int) {
-			defer wg.Done()
-			physical := l.mapper.Physical(lane)
-			ch := l.channels[physical]
-			var wire []byte
-			for seq, unit := range units[lane] {
-				wire = append(wire, l.framer.Encode(lane, uint32(seq), unit)...)
-			}
-			received := ch.Transmit(wire)
-			frames, stats := l.framer.DecodeStream(received)
-			results[lane] = laneResult{
-				lane:     lane,
-				physical: physical,
-				frames:   frames,
-				stats:    stats,
-				expected: len(units[lane]),
-				wire:     len(wire),
-			}
-		}(lane)
-	}
-	wg.Wait()
-
-	// --- Fold results, reassemble units ---
-	rxUnits := make([][][]byte, lanes)
-	for lane := range rxUnits {
-		rxUnits[lane] = make([][]byte, len(units[lane]))
-	}
-	for _, r := range results {
-		st.WireBytes += r.wire
-		st.Corrections += r.stats.Corrections
-		st.PerChannel[r.physical] = r.stats
-		good := 0
-		for _, cf := range r.frames {
-			// Lane mismatches would indicate a miswired remap; drop them.
-			if cf.Lane != r.lane {
-				continue
-			}
-			if int(cf.Seq) < len(rxUnits[r.lane]) {
-				rxUnits[r.lane][cf.Seq] = cf.Payload
-				good++
-			}
-		}
-		l.monitor.Observe(r.physical, r.expected, good, r.stats.Corrections,
-			uint64(r.wire)*8)
-	}
-
-	rxStream, missing := Destripe(rxUnits, lanes, l.cfg.UnitLen, totalUnits)
-	st.UnitsLost = len(missing)
+	// --- Destripe: fold lane results serially, in lane order ---
+	l.stageFold(states, &st)
 
 	// --- Descramble & parse blocks back into frames ---
-	linecode.NewDescrambler(scramblerSeed).Descramble(rxStream)
-	delivered := parseFrames(rxStream, &st)
+	l.descrambler.Reset(scramblerSeed)
+	l.descrambler.Descramble(rxStream)
+	delivered := parseFrames(rxStream, &st, &l.scratch.parse)
 	st.FramesDelivered = len(delivered)
 	st.FramesLost = st.FramesIn - st.FramesDelivered - st.FramesCorrupted
 	if st.FramesLost < 0 {
@@ -304,10 +239,11 @@ func (l *Link) Exchange(frames [][]byte) ([][]byte, ExchangeStats, error) {
 }
 
 // parseFrames walks the descrambled 9-byte block stream, reassembling
-// FCS-verified frames and resynchronizing after damage.
-func parseFrames(stream []byte, st *ExchangeStats) [][]byte {
+// FCS-verified frames and resynchronizing after damage. scratch is the
+// reusable frame-in-progress buffer (delivered frames are copied out).
+func parseFrames(stream []byte, st *ExchangeStats, scratch *[]byte) [][]byte {
 	var out [][]byte
-	var cur []byte
+	cur := (*scratch)[:0]
 	inFrame := false
 	for off := 0; off+9 <= len(stream); off += 9 {
 		sync := stream[off]
@@ -319,7 +255,7 @@ func parseFrames(stream []byte, st *ExchangeStats) [][]byte {
 			if inFrame {
 				st.FramesCorrupted++
 				inFrame = false
-				cur = nil
+				cur = cur[:0]
 			}
 			continue
 		}
@@ -342,7 +278,7 @@ func parseFrames(stream []byte, st *ExchangeStats) [][]byte {
 			inFrame = false
 			if len(cur) < 4 {
 				st.FramesCorrupted++
-				cur = nil
+				cur = cur[:0]
 				continue
 			}
 			body := cur[:len(cur)-4]
@@ -354,18 +290,19 @@ func parseFrames(stream []byte, st *ExchangeStats) [][]byte {
 			} else {
 				st.FramesCorrupted++
 			}
-			cur = nil
+			cur = cur[:0]
 		case linecode.KindIdle:
 			if inFrame {
 				// Idle inside a frame means we lost the terminate.
 				st.FramesCorrupted++
 				inFrame = false
-				cur = nil
+				cur = cur[:0]
 			}
 		}
 	}
 	if inFrame {
 		st.FramesCorrupted++
 	}
+	*scratch = cur[:0]
 	return out
 }

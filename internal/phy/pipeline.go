@@ -1,0 +1,196 @@
+package phy
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"mosaic/internal/coding/linecode"
+)
+
+// The TX → channel → RX hot path is an explicit staged pipeline:
+//
+//	frame → encode (blocks → serial stream) → scramble → stripe →
+//	per-lane transmit/decode → destripe → descramble → parse
+//
+// The serial stages run on the caller's goroutine and reuse buffers held
+// in linkScratch; the per-lane stage fans out over the persistent worker
+// pool (pool.go), each lane working exclusively on its own laneState.
+// Striping allocates nothing: the padded TX stream is already a whole
+// number of units, so unit (seq, lane) is the byte view
+// stream[(seq*lanes+lane)*unitLen:], and on the receive side the lanes
+// write recovered units straight into their disjoint slots of the
+// reassembly buffer — the destripe permutation is an index computation,
+// not a data structure.
+
+// laneState is one lane's persistent working set. A lane is touched by
+// exactly one pool worker per Exchange, so no locking is needed; buffers
+// grow to the high-water mark and are reused on every subsequent call.
+type laneState struct {
+	wire []byte // encoded channel frames (TX side)
+	rx   []byte // received bytes (skew prefix + noise applied)
+	body []byte // framer body scratch, shared by encode and decode
+	seen []bool // which unit sequence numbers arrived intact
+
+	physical  int
+	expected  int // units assigned to this lane
+	good      int // accepted channel frames (lane and seq in range)
+	wireBytes int
+	stats     DecodeStats
+}
+
+// linkScratch holds the reusable buffers of the serial stages.
+type linkScratch struct {
+	blocks   []linecode.Block
+	fcs      []byte // frame + FCS staging
+	stream   []byte // TX serial stream, scrambled in place
+	rxStream []byte // RX reassembled stream, descrambled in place
+	parse    []byte // frame-in-progress buffer for the parse stage
+	lanes    []laneState
+}
+
+// laneStates returns n lane slots, preserving per-lane buffers across
+// calls (and across lane-count changes after sparing remaps).
+func (sc *linkScratch) laneStates(n int) []laneState {
+	if cap(sc.lanes) < n {
+		grown := make([]laneState, n)
+		copy(grown, sc.lanes[:cap(sc.lanes)])
+		sc.lanes = grown
+	}
+	sc.lanes = sc.lanes[:n]
+	return sc.lanes
+}
+
+// rxStreamBuf returns a zeroed reassembly buffer of n bytes; missing
+// units keep the zero fill so downstream alignment survives loss.
+func (sc *linkScratch) rxStreamBuf(n int) []byte {
+	if cap(sc.rxStream) < n {
+		sc.rxStream = make([]byte, n)
+		return sc.rxStream
+	}
+	sc.rxStream = sc.rxStream[:n]
+	s := sc.rxStream
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// stageEncode converts user frames into the padded, serialized block
+// stream: per-frame FCS, 64b/66b blocks, inter-frame idles, and idle
+// padding to a whole number of stripe units.
+func (l *Link) stageEncode(frames [][]byte, st *ExchangeStats) ([]byte, error) {
+	sc := &l.scratch
+	blocks := sc.blocks[:0]
+	for _, f := range frames {
+		if len(f) < 3 {
+			sc.blocks = blocks
+			return nil, fmt.Errorf("phy: frame of %d bytes below minimum 3", len(f))
+		}
+		st.PayloadBytes += len(f)
+		withFCS := append(sc.fcs[:0], f...)
+		var fcs [4]byte
+		binary.BigEndian.PutUint32(fcs[:], crc32.ChecksumIEEE(f))
+		withFCS = append(withFCS, fcs[:]...)
+		sc.fcs = withFCS
+		var err error
+		blocks, err = linecode.AppendFrameBlocks(blocks, withFCS)
+		if err != nil {
+			sc.blocks = blocks
+			return nil, err
+		}
+		blocks = append(blocks, linecode.IdleBlock())
+	}
+	// Pad with idle blocks to a whole number of stripe units so the
+	// gearbox never has to invent fill bytes after scrambling.
+	unitBlocks := l.cfg.UnitLen / 9
+	for len(blocks)%unitBlocks != 0 {
+		blocks = append(blocks, linecode.IdleBlock())
+	}
+	sc.blocks = blocks
+
+	stream := sc.stream[:0]
+	if need := 9 * len(blocks); cap(stream) < need {
+		stream = make([]byte, 0, need)
+	}
+	for _, b := range blocks {
+		sync, payload, err := b.Encode()
+		if err != nil {
+			return nil, err
+		}
+		stream = append(stream, sync)
+		stream = append(stream, payload[:]...)
+	}
+	sc.stream = stream
+	return stream, nil
+}
+
+// laneUnits returns how many stripe units land on a lane: units are dealt
+// round-robin, unit g to lane g mod lanes with sequence g div lanes.
+func laneUnits(totalUnits, lanes, lane int) int {
+	return (totalUnits - lane + lanes - 1) / lanes
+}
+
+// stageLane runs one lane end to end: frame each of its units, push the
+// wire bytes through the lane's physical channel, then hunt, FEC-decode,
+// and validate the received stream, writing recovered units directly into
+// this lane's disjoint slots of rxStream.
+func (l *Link) stageLane(lane, lanes, totalUnits int, txStream, rxStream []byte, ls *laneState) {
+	unitLen := l.cfg.UnitLen
+	physical := l.mapper.Physical(lane)
+	ch := l.channels[physical]
+	expected := laneUnits(totalUnits, lanes, lane)
+	ls.physical = physical
+	ls.expected = expected
+	ls.good = 0
+
+	wire := ls.wire[:0]
+	if need := expected * l.framer.WireLen(); cap(wire) < need {
+		wire = make([]byte, 0, need)
+	}
+	for seq := 0; seq < expected; seq++ {
+		g := seq*lanes + lane
+		wire = l.framer.AppendFrame(wire, lane, uint32(seq), txStream[g*unitLen:(g+1)*unitLen], &ls.body)
+	}
+	ls.wire = wire
+	ls.wireBytes = len(wire)
+
+	ls.rx = ch.TransmitTo(ls.rx[:0], wire)
+
+	if cap(ls.seen) < expected {
+		ls.seen = make([]bool, expected)
+	}
+	ls.seen = ls.seen[:expected]
+	for i := range ls.seen {
+		ls.seen[i] = false
+	}
+	ls.stats = l.framer.ScanStream(ls.rx, &ls.body, func(frLane int, seq uint32, payload []byte, ncorr int) {
+		// Lane mismatches would indicate a miswired remap; drop them.
+		if frLane != lane || int(seq) >= expected {
+			return
+		}
+		g := int(seq)*lanes + lane
+		copy(rxStream[g*unitLen:(g+1)*unitLen], payload)
+		ls.seen[seq] = true
+		ls.good++
+	})
+}
+
+// stageFold merges the per-lane results serially, in lane order, so the
+// monitor observation sequence — and every statistic — is independent of
+// worker count.
+func (l *Link) stageFold(states []laneState, st *ExchangeStats) {
+	for i := range states {
+		ls := &states[i]
+		st.WireBytes += ls.wireBytes
+		st.Corrections += ls.stats.Corrections
+		st.PerChannel[ls.physical] = ls.stats
+		for _, got := range ls.seen {
+			if !got {
+				st.UnitsLost++
+			}
+		}
+		l.monitor.Observe(ls.physical, ls.expected, ls.good, ls.stats.Corrections,
+			uint64(ls.wireBytes)*8)
+	}
+}

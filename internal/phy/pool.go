@@ -1,0 +1,80 @@
+package phy
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The per-lane stage of the pipeline fans out over a persistent,
+// package-level worker pool instead of spawning a goroutine per lane per
+// Exchange. The pool is sized by runtime.GOMAXPROCS at first use and
+// shared by every Link in the process — mirroring how a wide-and-slow
+// endpoint has a fixed silicon budget that hundreds of cheap channels
+// time-share, and keeping goroutine count independent of how many links
+// an experiment builds.
+//
+// Determinism: lane work only touches per-lane state (each physical
+// channel owns its RNG), so the lane→worker assignment — and therefore
+// the worker count — cannot change any result bit.
+
+var (
+	poolOnce  sync.Once
+	poolTasks chan func()
+	poolSize  int
+)
+
+func startPool() {
+	poolSize = runtime.GOMAXPROCS(0)
+	poolTasks = make(chan func(), 4*poolSize)
+	for i := 0; i < poolSize; i++ {
+		go func() {
+			for task := range poolTasks {
+				task()
+			}
+		}()
+	}
+}
+
+// forEachLane runs fn(0..n-1) with up to par runner tasks on the
+// persistent pool (actual concurrency is bounded by the pool's worker
+// count). par <= 1 runs inline on the caller's goroutine — handy for
+// tests and for callers that are themselves parallel. par == 0 means
+// "pool default": one runner per pool worker.
+func forEachLane(n, par int, fn func(lane int)) {
+	if n <= 0 {
+		return
+	}
+	if par != 1 {
+		poolOnce.Do(startPool)
+		if par <= 0 || par > 4*poolSize {
+			par = poolSize
+		}
+	}
+	if par > n {
+		par = n
+	}
+	if par <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	runner := func() {
+		defer wg.Done()
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	wg.Add(par)
+	for i := 0; i < par; i++ {
+		poolTasks <- runner
+	}
+	wg.Wait()
+}
