@@ -1,13 +1,17 @@
 # Tier-1 verification for the Mosaic repo. `make check` is the gate every
-# change must pass: vet, build, the full test suite under the race
-# detector (the PHY's per-lane stage runs on a shared worker pool), and a
-# doubled determinism run to catch any seed-dependent flakiness.
+# change must pass: vet, build, the plain test suite, the same suite under
+# the race detector (the PHY's per-lane stage runs on a shared worker
+# pool), and a doubled determinism run to catch any seed-dependent
+# flakiness. CI (.github/workflows/ci.yml) runs `make check` plus the
+# fuzz-smoke and bench-check stages below.
 
 GO ?= go
+FUZZTIME ?= 20s
+FUZZ_TARGETS = FuzzFramerDecodeStream FuzzHammingFECDecode FuzzRSLiteDecode FuzzParseFramesNeverPanics
 
-.PHONY: check vet build test race determinism bench
+.PHONY: check vet build test race determinism bench bench-check fuzz-smoke
 
-check: vet build race determinism
+check: vet build test race determinism
 
 vet:
 	$(GO) vet ./...
@@ -27,3 +31,18 @@ determinism:
 # Not part of check: the allocation-aware end-to-end benchmark.
 bench:
 	$(GO) test -bench 'BenchmarkE10EndToEnd$$' -benchmem -benchtime 3x -run '^$$' .
+
+# CI bench-regression gate: run the E10 benchmark, record BENCH_E10.json,
+# and fail if allocs/op regresses >10% against the committed baseline.
+# After an intentional allocation change: make bench | go run ./cmd/benchguard -baseline ci/bench_baseline.json -update
+bench-check:
+	$(MAKE) --no-print-directory bench | $(GO) run ./cmd/benchguard \
+		-baseline ci/bench_baseline.json -out BENCH_E10.json
+
+# CI fuzz smoke: each fuzz target gets a short budget (go test runs one
+# fuzz target at a time, so this is a loop, not a single invocation).
+fuzz-smoke:
+	@for t in $(FUZZ_TARGETS); do \
+		echo "== fuzz $$t ($(FUZZTIME)) =="; \
+		$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) ./internal/phy/ || exit 1; \
+	done

@@ -1,6 +1,6 @@
 package mosaic
 
-// One benchmark per reconstructed table/figure (E1-E21) and ablation
+// One benchmark per reconstructed table/figure (E1-E22) and ablation
 // (A1-A5). Each bench regenerates its experiment through the experiment
 // registry — the same code path as cmd/mosaicbench — reports the headline
 // numbers as custom metrics, and (with -v) logs the full table.
@@ -180,6 +180,20 @@ func BenchmarkE20FleetTCO(b *testing.B) {
 
 func BenchmarkE21PredictiveMaintenance(b *testing.B) {
 	runExperiment(b, "E21")
+}
+
+func BenchmarkE22SparingSoak(b *testing.B) {
+	tab := runExperiment(b, "E22")
+	// Headline: worst absolute deviation of the pipeline-measured
+	// survival from the k-of-n closed form, across spare levels.
+	var worst float64
+	for i := range tab.Rows {
+		v, _ := strconv.ParseFloat(tab.Rows[i][4], 64)
+		if v > worst {
+			worst = v
+		}
+	}
+	b.ReportMetric(worst, "worst_abs_err")
 }
 
 func BenchmarkA1Oversampling(b *testing.B) {

@@ -1,0 +1,201 @@
+// Command benchguard turns `go test -bench` text output into a JSON
+// record and gates allocation regressions against a committed baseline.
+// It is the CI bench-regression stage:
+//
+//	go test -bench 'BenchmarkE10EndToEnd$' -benchmem -benchtime 3x -run '^$' . |
+//	    benchguard -baseline ci/bench_baseline.json -out BENCH_E10.json
+//
+// The run fails (exit 1) when any baselined benchmark regresses its
+// allocs/op by more than -max-regress (default 10%), or is missing from
+// the input. allocs/op is the gated metric because it is stable across
+// machines; ns/op and B/op are recorded in the JSON for trend-watching
+// but never gated. Refresh the baseline after an intentional change with
+// -update.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Bench is one parsed benchmark result line.
+type Bench struct {
+	Name        string  `json:"name"` // without the -GOMAXPROCS suffix
+	Iterations  int     `json:"iterations,omitempty"`
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Report is the JSON document benchguard reads and writes.
+type Report struct {
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+// procSuffix strips the trailing -N GOMAXPROCS marker so baselines are
+// portable across machines with different core counts.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench extracts benchmark result lines from `go test -bench`
+// output. Non-benchmark lines (headers, tables logged with -v, PASS) are
+// ignored.
+func parseBench(r io.Reader) ([]Bench, error) {
+	var out []Bench
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.Atoi(fields[1])
+		if err != nil {
+			continue // e.g. "BenchmarkX --- FAIL" or a log line
+		}
+		b := Bench{
+			Name:       procSuffix.ReplaceAllString(fields[0], ""),
+			Iterations: iters,
+		}
+		// The rest of the line is value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			}
+		}
+		out = append(out, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found in input")
+	}
+	return out, nil
+}
+
+// compare checks every baselined benchmark against the current run and
+// returns human-readable violations (empty = pass).
+func compare(current, baseline []Bench, maxRegress float64) []string {
+	byName := make(map[string]Bench, len(current))
+	for _, b := range current {
+		byName[b.Name] = b
+	}
+	var bad []string
+	for _, base := range baseline {
+		cur, ok := byName[base.Name]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: baselined benchmark missing from this run", base.Name))
+			continue
+		}
+		if base.AllocsPerOp <= 0 {
+			continue // nothing to gate against
+		}
+		limit := base.AllocsPerOp * (1 + maxRegress)
+		if cur.AllocsPerOp > limit {
+			bad = append(bad, fmt.Sprintf(
+				"%s: allocs/op %.0f exceeds baseline %.0f by %.1f%% (limit +%.0f%%)",
+				base.Name, cur.AllocsPerOp, base.AllocsPerOp,
+				100*(cur.AllocsPerOp/base.AllocsPerOp-1), 100*maxRegress))
+		}
+	}
+	return bad
+}
+
+func loadReport(path string) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+func writeReport(path string, rep Report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func main() {
+	var (
+		inPath     = flag.String("in", "", "bench output to parse (default: stdin)")
+		outPath    = flag.String("out", "", "write the parsed results as JSON to this file")
+		basePath   = flag.String("baseline", "", "baseline JSON to gate against")
+		maxRegress = flag.Float64("max-regress", 0.10, "allowed fractional allocs/op regression")
+		update     = flag.Bool("update", false, "rewrite -baseline from this run instead of gating")
+	)
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if *inPath != "" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	benches, err := parseBench(in)
+	if err != nil {
+		fatal(err)
+	}
+	rep := Report{Benchmarks: benches}
+	for _, b := range benches {
+		fmt.Printf("benchguard: %s  %.0f ns/op  %.0f B/op  %.0f allocs/op\n",
+			b.Name, b.NsPerOp, b.BytesPerOp, b.AllocsPerOp)
+	}
+
+	if *outPath != "" {
+		if err := writeReport(*outPath, rep); err != nil {
+			fatal(err)
+		}
+	}
+	if *basePath == "" {
+		return
+	}
+	if *update {
+		if err := writeReport(*basePath, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchguard: baseline %s updated\n", *basePath)
+		return
+	}
+	baseline, err := loadReport(*basePath)
+	if err != nil {
+		fatal(err)
+	}
+	if bad := compare(benches, baseline.Benchmarks, *maxRegress); len(bad) > 0 {
+		for _, msg := range bad {
+			fmt.Fprintln(os.Stderr, "benchguard: FAIL:", msg)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchguard: OK — %d benchmark(s) within +%.0f%% of baseline\n",
+		len(baseline.Benchmarks), 100**maxRegress)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: mosaic
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkE10EndToEnd 	       3	 308301659 ns/op	52425776 B/op	  141769 allocs/op
+BenchmarkPipelineThroughput-8 	      12	  95000000 ns/op	1010.52 MB/s	 9000000 B/op	   50000 allocs/op
+PASS
+ok  	mosaic	1.229s
+`
+
+func TestParseBench(t *testing.T) {
+	benches, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(benches))
+	}
+	e10 := benches[0]
+	if e10.Name != "BenchmarkE10EndToEnd" {
+		t.Errorf("name = %q", e10.Name)
+	}
+	if e10.Iterations != 3 || e10.NsPerOp != 308301659 ||
+		e10.BytesPerOp != 52425776 || e10.AllocsPerOp != 141769 {
+		t.Errorf("E10 metrics = %+v", e10)
+	}
+	// The -8 GOMAXPROCS suffix must be stripped so baselines are portable.
+	if benches[1].Name != "BenchmarkPipelineThroughput" {
+		t.Errorf("name = %q, want suffix stripped", benches[1].Name)
+	}
+	if benches[1].AllocsPerOp != 50000 {
+		t.Errorf("throughput allocs = %v", benches[1].AllocsPerOp)
+	}
+}
+
+func TestParseBenchRejectsEmpty(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("PASS\nok mosaic 1s\n")); err == nil {
+		t.Fatal("want error on input with no benchmark lines")
+	}
+}
+
+func TestParseBenchIgnoresFailedLines(t *testing.T) {
+	in := "BenchmarkBroken --- FAIL\nBenchmarkGood 	 5	 100 ns/op	 10 allocs/op\n"
+	benches, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 1 || benches[0].Name != "BenchmarkGood" {
+		t.Fatalf("benches = %+v", benches)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := []Bench{{Name: "BenchmarkE10EndToEnd", AllocsPerOp: 100000}}
+	cases := []struct {
+		name    string
+		current []Bench
+		wantBad int
+	}{
+		{"identical", []Bench{{Name: "BenchmarkE10EndToEnd", AllocsPerOp: 100000}}, 0},
+		{"within 10%", []Bench{{Name: "BenchmarkE10EndToEnd", AllocsPerOp: 109999}}, 0},
+		{"improved", []Bench{{Name: "BenchmarkE10EndToEnd", AllocsPerOp: 50000}}, 0},
+		{"regressed 11%", []Bench{{Name: "BenchmarkE10EndToEnd", AllocsPerOp: 111000}}, 1},
+		{"missing", []Bench{{Name: "BenchmarkOther", AllocsPerOp: 1}}, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			bad := compare(c.current, base, 0.10)
+			if len(bad) != c.wantBad {
+				t.Errorf("violations = %v, want %d", bad, c.wantBad)
+			}
+		})
+	}
+}
+
+func TestCompareSkipsZeroAllocBaseline(t *testing.T) {
+	// A baseline entry without allocs/op (e.g. from a run missing
+	// -benchmem) gates nothing rather than failing everything.
+	base := []Bench{{Name: "BenchmarkX", AllocsPerOp: 0}}
+	cur := []Bench{{Name: "BenchmarkX", AllocsPerOp: 999999}}
+	if bad := compare(cur, base, 0.10); len(bad) != 0 {
+		t.Errorf("violations = %v, want none", bad)
+	}
+}

@@ -1,0 +1,203 @@
+// Command linksoak runs deterministic fault-injection soaks against the
+// bit-true Mosaic PHY: scripted or seeded-random fault schedules are
+// replayed at superframe boundaries while the sparing, monitoring, and
+// maintenance machinery reacts, and the run emits an event log of remaps,
+// maintenance actions, health transitions, and loss milestones.
+//
+//	linksoak                                  # default scenario, 100+4 channels
+//	linksoak -superframes 500 -hazard 0.001   # random channel deaths
+//	linksoak -schedule faults.json            # replay a scripted schedule
+//	linksoak -dump faults.json -hazard 0.002  # write the generated schedule
+//	linksoak -trials 200 -spares 2            # survival study vs closed form
+//	linksoak -json                            # machine-readable event log
+//
+// A fixed -seed and schedule produce a byte-identical event log at any
+// -workers value. Schedule files are JSON:
+//
+//	{"seed": 1, "events": [
+//	  {"at": 10, "kind": "kill", "channel": 5},
+//	  {"at": 20, "kind": "aging", "channel": 7, "ber": 1e-4, "duration": 30},
+//	  {"at": 40, "kind": "burst", "channel": 3, "ber": 3e-4, "duration": 8},
+//	  {"at": 60, "kind": "correlated", "channel": 96, "span": 4}
+//	]}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"mosaic/internal/faultinject"
+	"mosaic/internal/phy"
+)
+
+func main() {
+	var (
+		lanes       = flag.Int("lanes", 100, "active data lanes")
+		spares      = flag.Int("spares", 4, "spare channels")
+		fecName     = flag.String("fec", "rslite", "per-channel FEC: none|hamming72|rslite|kp4")
+		unitLen     = flag.Int("unit", 243, "stripe unit length in bytes (multiple of 9)")
+		superframes = flag.Int("superframes", 120, "superframes (Exchange rounds) to soak")
+		frames      = flag.Int("frames", 24, "frames per superframe")
+		frameLen    = flag.Int("framesize", 1500, "bytes per frame")
+		seed        = flag.Int64("seed", 1, "simulation seed")
+		workers     = flag.Int("workers", 0, "PHY lane workers (0 = all cores; results identical at any value)")
+		maintEvery  = flag.Int("maintain-every", 10, "superframes between proactive maintenance passes (0 = never)")
+		keepSpares  = flag.Int("keep-spares", 1, "spares held back for hard failures")
+		spareAbove  = flag.Float64("spare-above", 1e-6, "proactive remap threshold (estimated BER)")
+		schedPath   = flag.String("schedule", "", "JSON fault schedule to replay (default: -hazard random kills, else the default scenario)")
+		dumpPath    = flag.String("dump", "", "write the schedule that was run to this file")
+		hazard      = flag.Float64("hazard", 0, "per-superframe channel death probability for a random-kill schedule")
+		trials      = flag.Int("trials", 0, "run a survival study of N trials instead of one soak")
+		jsonOut     = flag.Bool("json", false, "emit the result as JSON")
+	)
+	flag.Parse()
+
+	fec, err := phy.FECByName(*fecName)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *trials > 0 {
+		runStudy(*lanes, *spares, *hazard, *superframes, *trials, *seed, *workers, *jsonOut)
+		return
+	}
+
+	cfg := phy.Config{
+		Lanes:             *lanes,
+		Spares:            *spares,
+		FEC:               fec,
+		UnitLen:           *unitLen,
+		PerChannelBitRate: 2e9,
+		Seed:              *seed,
+		Workers:           *workers,
+	}
+	link, err := phy.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	sched, err := buildSchedule(*schedPath, *hazard, *lanes+*spares, *superframes, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if *dumpPath != "" {
+		f, err := os.Create(*dumpPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := sched.Encode(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	res, err := faultinject.Run(faultinject.Config{
+		Link:        link,
+		Schedule:    sched,
+		Superframes: *superframes,
+		FramesPerSF: *frames,
+		FrameLen:    *frameLen,
+		Seed:        *seed,
+		Policy: phy.MaintenancePolicy{
+			SpareAboveBER: *spareAbove,
+			KeepSpares:    *keepSpares,
+		},
+		MaintainEvery: *maintEvery,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("soak: %d+%d channels, %s FEC, %d superframes x %d frames, seed %d\n",
+		*lanes, *spares, fec.Name(), *superframes, *frames, *seed)
+	for _, e := range sched.Events {
+		fmt.Printf("scheduled: %v\n", e)
+	}
+	fmt.Println()
+	for _, line := range res.Log {
+		fmt.Println(line)
+	}
+	fmt.Println()
+	fmt.Println(res.Summary())
+}
+
+// buildSchedule picks the fault script: an explicit file, seeded random
+// kills when -hazard is set, or the default showcase scenario.
+func buildSchedule(path string, hazard float64, channels, superframes int, seed int64) (faultinject.Schedule, error) {
+	if path != "" {
+		return faultinject.LoadFile(path)
+	}
+	if hazard > 0 {
+		s := faultinject.RandomKills(rand.New(rand.NewSource(seed)), channels, hazard, superframes)
+		s.Seed = seed
+		return s, nil
+	}
+	return faultinject.DefaultScenario(channels, superframes)
+}
+
+// runStudy cross-validates pipeline survival against the k-of-n closed
+// form, like experiment E22 but at caller-chosen scale.
+func runStudy(lanes, spares int, hazard float64, superframes, trials int, seed int64, workers int, jsonOut bool) {
+	if hazard <= 0 {
+		hazard = 0.002
+	}
+	res, err := faultinject.SurvivalStudy(faultinject.SurvivalConfig{
+		Lanes:       lanes,
+		Spares:      spares,
+		HazardPerSF: hazard,
+		Superframes: superframes,
+		Trials:      trials,
+		Seed:        seed,
+		Workers:     workers,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("survival study: %d+%d channels, hazard %.2e/superframe, %d superframes, %d trials\n",
+		lanes, spares, hazard, superframes, trials)
+	fmt.Printf("simulated survival: %.4f  (%d/%d trials kept full width)\n",
+		res.SimSurvival, res.Survived, res.Trials)
+	fmt.Printf("closed-form k-of-n: %.4f  (|err| %.4f, tolerance %.4f)\n",
+		res.ClosedForm, abs(res.SimSurvival-res.ClosedForm), res.Tolerance)
+	fmt.Printf("mean remaps/trial: %.2f; %d trials dropped frames (mean first drop sf %.1f)\n",
+		res.MeanRemaps, res.DroppedTrials, res.MeanFirstDrop)
+	if res.Agrees() {
+		fmt.Println("verdict: pipeline agrees with the closed form within Monte-Carlo tolerance")
+	} else {
+		fmt.Println("verdict: DISAGREEMENT beyond Monte-Carlo tolerance")
+		os.Exit(1)
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "linksoak:", err)
+	os.Exit(1)
+}

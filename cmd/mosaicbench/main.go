@@ -1,5 +1,5 @@
 // Command mosaicbench regenerates the paper's evaluation: every
-// reconstructed table and figure (E1-E21) plus the design-choice ablations
+// reconstructed table and figure (E1-E22) plus the design-choice ablations
 // (A1-A5), driven by the experiment registry. Run with no arguments for
 // the full suite, or select experiments:
 //
@@ -9,10 +9,16 @@
 //	mosaicbench -list           # list experiments (metadata only, runs nothing)
 //	mosaicbench -seed 7         # change the simulation seed
 //	mosaicbench -par 4          # generate experiments concurrently
+//	mosaicbench -soak           # fault-injection soak with a live event log
 //
 // With -par N the generators run on up to N goroutines; output is always
 // printed in registry order, and a fixed seed produces identical tables at
 // any parallelism.
+//
+// -soak runs the default fault-injection scenario (a kill, an aging
+// channel, a burst episode, and a correlated neighborhood failure) on the
+// prototype link and prints the event log — the narrative companion to
+// the E22 statistics; see cmd/linksoak for the fully scriptable harness.
 package main
 
 import (
@@ -22,6 +28,8 @@ import (
 	"strings"
 
 	"mosaic/internal/experiments"
+	"mosaic/internal/faultinject"
+	"mosaic/internal/phy"
 )
 
 func main() {
@@ -31,8 +39,17 @@ func main() {
 		listFlag = flag.Bool("list", false, "list experiment IDs and exit")
 		csvFlag  = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		parFlag  = flag.Int("par", 1, "run up to N experiment generators concurrently")
+		soakFlag = flag.Bool("soak", false, "run the default fault-injection soak scenario and exit")
 	)
 	flag.Parse()
+
+	if *soakFlag {
+		if err := runSoak(*seedFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "mosaicbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *listFlag {
 		// Pure metadata: listing never runs a generator and cannot fail.
@@ -71,4 +88,45 @@ func main() {
 			r.Table.Fprint(os.Stdout)
 		}
 	}
+}
+
+// runSoak drives the paper's prototype configuration (100 channels + 4
+// spares) through the default fault-injection scenario with proactive
+// maintenance enabled, printing the event log and summary.
+func runSoak(seed int64) error {
+	const superframes = 120
+	cfg := phy.DefaultConfig()
+	cfg.Seed = seed
+	link, err := phy.New(cfg)
+	if err != nil {
+		return err
+	}
+	sched, err := faultinject.DefaultScenario(cfg.Lanes+cfg.Spares, superframes)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== fault-injection soak: 100+4 channel prototype, default scenario ==")
+	for _, e := range sched.Events {
+		fmt.Printf("scheduled: %v\n", e)
+	}
+	res, err := faultinject.Run(faultinject.Config{
+		Link:          link,
+		Schedule:      sched,
+		Superframes:   superframes,
+		FramesPerSF:   24,
+		FrameLen:      1500,
+		Seed:          seed,
+		Policy:        phy.DefaultMaintenancePolicy(),
+		MaintainEvery: 10,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	for _, line := range res.Log {
+		fmt.Println(line)
+	}
+	fmt.Println()
+	fmt.Println(res.Summary())
+	return nil
 }

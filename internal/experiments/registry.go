@@ -159,6 +159,12 @@ func init() {
 			Gen:   E21PredictiveMaintenance,
 		},
 		{
+			ID:    "E22",
+			Title: "fault-injection soak: pipeline survival vs k-of-n closed form",
+			Claim: "channel sparing turns device death into an invisible remap — validated end-to-end, not just in FIT math",
+			Gen:   E22SparingSoak,
+		},
+		{
 			ID:    "A1",
 			Title: "ablation: oversampled core groups vs single-core mapping",
 			Claim: "design choice: a channel = a group of cores, so alignment is coarse",

@@ -1,0 +1,43 @@
+package experiments
+
+import "testing"
+
+func TestE22SoakAgreesWithClosedForm(t *testing.T) {
+	// The generator itself fails hard when any spare level drifts outside
+	// the Monte-Carlo band, so a clean run IS the cross-validation; the
+	// assertions below check the table's shape and physics on top.
+	tab, err := E22SparingSoak(1)
+	render(t, tab, err)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 spare levels", len(tab.Rows))
+	}
+	prev := -1.0
+	for i := range tab.Rows {
+		sim := cellF(t, tab, i, 2)
+		closed := cellF(t, tab, i, 3)
+		absErr := cellF(t, tab, i, 4)
+		tol := cellF(t, tab, i, 5)
+		if absErr > tol {
+			t.Errorf("row %d: abs_err %.3f > tol %.3f", i, absErr, tol)
+		}
+		// More spares must never hurt closed-form survival, and the
+		// simulated value must track it (monotone within tolerance).
+		if closed < prev {
+			t.Errorf("row %d: closed form decreased with more spares", i)
+		}
+		if sim < prev-tol {
+			t.Errorf("row %d: simulated survival fell with more spares", i)
+		}
+		prev = closed
+	}
+	// The zero-spare link must be strictly less survivable than 4 spares.
+	if !(cellF(t, tab, 0, 3) < cellF(t, tab, 3, 3)) {
+		t.Error("sparing bought nothing")
+	}
+	// Every configuration saw real faults reach the pipeline.
+	for i := range tab.Rows {
+		if cellF(t, tab, i, 6) <= 0 {
+			t.Errorf("row %d: no remaps recorded", i)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package faultinject
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"mosaic/internal/phy"
+)
+
+// The soak harness must be deterministic the same way the PHY pipeline is
+// (see internal/phy/determinism_test.go): a fixed link seed, traffic
+// seed, and fault schedule produce a byte-identical event log and summary
+// at any pool worker count. The golden hash below pins the complete log
+// of a scenario that exercises every event kind (kill, aging, burst,
+// correlated), proactive maintenance, spare exhaustion, and degradation.
+
+// goldenSoakSHA is sha256[:8] of the scenario's joined log + summary.
+const goldenSoakSHA = "c7d7a37d93c2aa17"
+
+// runGoldenSoak executes the pinned scenario at the given worker count.
+func runGoldenSoak(t *testing.T, workers int) (string, *Result) {
+	t.Helper()
+	link, err := phy.New(phy.Config{
+		Lanes:             12,
+		Spares:            3,
+		FEC:               phy.NewRSLite(),
+		UnitLen:           63,
+		PerChannelBitRate: 2e9,
+		Seed:              11,
+		Workers:           workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := Schedule{Events: []Event{
+		{At: 3, Kind: KindKill, Channel: 2},
+		{At: 8, Kind: KindAging, Channel: 6, BER: 1e-4, Duration: 10},
+		{At: 14, Kind: KindBurst, Channel: 9, BER: 3e-4, Duration: 5},
+		{At: 30, Kind: KindCorrelated, Channel: 10, Span: 3},
+	}}
+	res, err := Run(Config{
+		Link:          link,
+		Schedule:      sched,
+		Superframes:   48,
+		FramesPerSF:   8,
+		FrameLen:      120,
+		Seed:          21,
+		Policy:        phy.DefaultMaintenancePolicy(),
+		MaintainEvery: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := strings.Join(res.Log, "\n") + "\n" + res.Summary()
+	h := sha256.Sum256([]byte(blob))
+	return hex.EncodeToString(h[:8]), res
+}
+
+func TestSoakDeterminismAcrossWorkerCounts(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 4, runtime.NumCPU(), 0} {
+		t.Run(fmt.Sprintf("workers=%d", w), func(t *testing.T) {
+			sha, res := runGoldenSoak(t, w)
+			if sha != goldenSoakSHA {
+				t.Errorf("event log hash = %s, want %s; log:\n%s",
+					sha, goldenSoakSHA, strings.Join(res.Log, "\n"))
+			}
+			// Spot-check the milestones the hash pins, so a drift failure
+			// reports something human-readable too.
+			if res.Remaps != 5 || res.MaintenanceActions != 1 {
+				t.Errorf("remaps=%d maintenance=%d, want 5/1", res.Remaps, res.MaintenanceActions)
+			}
+			if res.FirstDropSF != 3 || res.DegradedSF != 30 || res.SpareExhaustSF != 30 {
+				t.Errorf("milestones first-drop=%d degraded=%d exhausted=%d, want 3/30/30",
+					res.FirstDropSF, res.DegradedSF, res.SpareExhaustSF)
+			}
+		})
+	}
+}
+
+// TestSoakRerunIdentical re-runs the same scenario twice on fresh links
+// and requires identical logs — no hidden global state between runs.
+func TestSoakRerunIdentical(t *testing.T) {
+	a, _ := runGoldenSoak(t, 4)
+	b, _ := runGoldenSoak(t, 4)
+	if a != b {
+		t.Fatalf("re-run diverged: %s vs %s", a, b)
+	}
+}

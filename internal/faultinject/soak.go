@@ -1,0 +1,280 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mosaic/internal/phy"
+)
+
+// Config describes one soak run: a link under test, a fault schedule, the
+// traffic pattern, and the maintenance cadence.
+type Config struct {
+	Link     *phy.Link // required; the runner drives and mutates it
+	Schedule Schedule
+
+	Superframes int // Exchange rounds to run
+	FramesPerSF int // frames pushed per superframe
+	FrameLen    int // bytes per frame
+	Seed        int64
+
+	// Policy is applied every MaintainEvery superframes when
+	// MaintainEvery > 0; the zero policy disables proactive maintenance
+	// (reactive sparing of monitor-failed channels always runs).
+	Policy        phy.MaintenancePolicy
+	MaintainEvery int
+
+	// MaxLog caps the event log (0 = 100000). Injections and milestones
+	// past the cap are still counted in the Result, just not logged.
+	MaxLog int
+}
+
+// Result is the outcome of a soak run: the event log plus aggregate
+// counters and the loss/degradation milestones the reliability story
+// cares about.
+type Result struct {
+	Log []string `json:"log"` // deterministic event log, in superframe order
+
+	Superframes     int `json:"superframes"`
+	FramesIn        int `json:"frames_in"`
+	FramesDelivered int `json:"frames_delivered"`
+	FramesCorrupted int `json:"frames_corrupted"`
+	FramesLost      int `json:"frames_lost"`
+	UnitsLost       int `json:"units_lost"`
+	Corrections     int `json:"corrections"`
+
+	Remaps             int                  `json:"remaps"`              // hard-failure remaps (spare consumed or degrade)
+	MaintenanceActions int                  `json:"maintenance_actions"` // proactive replacements
+	Transitions        phy.TransitionCounts `json:"transitions"`
+
+	// Milestones, as superframe indexes (-1 = never happened).
+	FirstDropSF    int `json:"first_drop_sf"`    // first superframe that lost or corrupted a frame
+	DegradedSF     int `json:"degraded_sf"`      // first superframe the link lost a lane outright
+	SpareExhaustSF int `json:"spare_exhaust_sf"` // first superframe the spare pool hit zero
+
+	LanesStart int `json:"lanes_start"`
+	LanesEnd   int `json:"lanes_end"`
+	SparesEnd  int `json:"spares_end"`
+	// SurvivedFullWidth is true when the link never lost a lane: every
+	// failure was absorbed by a spare. This is the pipeline-level
+	// equivalent of the k-of-n "at most s of n channels failed" event.
+	SurvivedFullWidth bool `json:"survived_full_width"`
+}
+
+// agingRamp tracks one in-flight KindAging event.
+type agingRamp struct {
+	channel  int
+	startBER float64
+	target   float64
+	startSF  int
+	duration int
+}
+
+// burst tracks one in-flight KindBurst event.
+type burst struct {
+	channel  int
+	savedBER float64
+	endSF    int
+}
+
+// Run executes the schedule against cfg.Link and returns the event log
+// and aggregate statistics. The run is deterministic: a fixed link seed,
+// traffic seed, and schedule produce a byte-identical Log at any
+// phy.Config.Workers value, because injections happen at superframe
+// boundaries and the pipeline folds lane observations serially.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Link == nil {
+		return nil, errors.New("faultinject: Config.Link is required")
+	}
+	if cfg.Superframes <= 0 {
+		return nil, errors.New("faultinject: need Superframes > 0")
+	}
+	if cfg.FramesPerSF <= 0 || cfg.FrameLen < 3 {
+		return nil, errors.New("faultinject: need FramesPerSF > 0 and FrameLen >= 3")
+	}
+	if err := cfg.Schedule.Validate(); err != nil {
+		return nil, err
+	}
+	maxLog := cfg.MaxLog
+	if maxLog <= 0 {
+		maxLog = 100000
+	}
+
+	link := cfg.Link
+	res := &Result{
+		FirstDropSF:    -1,
+		DegradedSF:     -1,
+		SpareExhaustSF: -1,
+		LanesStart:     link.Mapper().NumLanes(),
+	}
+	logf := func(format string, args ...any) {
+		if len(res.Log) < maxLog {
+			res.Log = append(res.Log, fmt.Sprintf(format, args...))
+		}
+	}
+
+	// Fixed traffic, regenerated per run from the seed (the same frames
+	// every superframe, like the determinism goldens).
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	frames := make([][]byte, cfg.FramesPerSF)
+	for i := range frames {
+		frames[i] = make([]byte, cfg.FrameLen)
+		rng.Read(frames[i])
+	}
+
+	// Health transitions land in the log as they happen; sf tracks the
+	// current superframe for the hook.
+	sf := 0
+	base := link.Monitor().Transitions()
+	link.Monitor().SetTransitionHook(func(physical int, from, to phy.ChannelState) {
+		logf("sf=%d transition ch=%d %v->%v", sf, physical, from, to)
+	})
+	defer link.Monitor().SetTransitionHook(nil)
+
+	var ramps []agingRamp
+	var bursts []burst
+	handled := make(map[int]bool) // physicals already spared out
+	next := 0                     // schedule cursor
+
+	spare := func(physical int) {
+		if handled[physical] {
+			return
+		}
+		handled[physical] = true
+		ev := link.FailChannel(physical)
+		res.Remaps++
+		logf("sf=%d remap %v", sf, ev)
+	}
+
+	for sf = 0; sf < cfg.Superframes; sf++ {
+		// 1. Inject events due at this boundary.
+		for next < len(cfg.Schedule.Events) && cfg.Schedule.Events[next].At <= sf {
+			e := cfg.Schedule.Events[next]
+			next++
+			logf("inject %v", e)
+			switch e.Kind {
+			case KindKill:
+				link.KillChannel(e.Channel)
+			case KindCorrelated:
+				for c := e.Channel; c < e.Channel+e.Span; c++ {
+					link.KillChannel(c)
+				}
+			case KindAging:
+				start := link.ChannelBER(e.Channel)
+				if start < 1e-9 {
+					start = 1e-9
+				}
+				ramps = append(ramps, agingRamp{
+					channel: e.Channel, startBER: start, target: e.BER,
+					startSF: sf, duration: e.Duration,
+				})
+			case KindBurst:
+				bursts = append(bursts, burst{
+					channel: e.Channel, savedBER: link.ChannelBER(e.Channel),
+					endSF: sf + e.Duration,
+				})
+				link.SetChannelBER(e.Channel, e.BER)
+			}
+		}
+
+		// 2. Step aging ramps (log-linear BER climb) and expire bursts.
+		live := ramps[:0]
+		for _, r := range ramps {
+			prog := float64(sf-r.startSF+1) / float64(r.duration)
+			if prog >= 1 {
+				link.SetChannelBER(r.channel, r.target)
+				continue // ramp complete; target holds
+			}
+			link.SetChannelBER(r.channel,
+				r.startBER*math.Pow(r.target/r.startBER, prog))
+			live = append(live, r)
+		}
+		ramps = live
+		liveB := bursts[:0]
+		for _, b := range bursts {
+			if sf >= b.endSF {
+				link.SetChannelBER(b.channel, b.savedBER)
+				continue
+			}
+			liveB = append(liveB, b)
+		}
+		bursts = liveB
+
+		// 3. One superframe of traffic.
+		_, st, err := link.Exchange(frames)
+		if err != nil {
+			return res, fmt.Errorf("faultinject: superframe %d: %w", sf, err)
+		}
+		res.FramesIn += st.FramesIn
+		res.FramesDelivered += st.FramesDelivered
+		res.FramesCorrupted += st.FramesCorrupted
+		res.FramesLost += st.FramesLost
+		res.UnitsLost += st.UnitsLost
+		res.Corrections += st.Corrections
+		if res.FirstDropSF < 0 && st.FramesDelivered < st.FramesIn {
+			res.FirstDropSF = sf
+			logf("sf=%d first-drop delivered=%d/%d", sf, st.FramesDelivered, st.FramesIn)
+		}
+
+		// 4. Reactive sparing: monitor-failed channels are remapped at
+		// the boundary, taking effect next superframe.
+		for _, p := range link.Monitor().FailedChannels() {
+			spare(p)
+		}
+
+		// 5. Periodic proactive maintenance.
+		if cfg.MaintainEvery > 0 && (sf+1)%cfg.MaintainEvery == 0 {
+			for _, a := range link.Maintain(cfg.Policy) {
+				handled[a.Physical] = true
+				res.MaintenanceActions++
+				logf("sf=%d maintain %v", sf, a)
+			}
+		}
+
+		// 6. Milestones.
+		if res.DegradedSF < 0 && link.Mapper().NumLanes() < res.LanesStart {
+			res.DegradedSF = sf
+			logf("sf=%d degraded lanes=%d/%d", sf, link.Mapper().NumLanes(), res.LanesStart)
+		}
+		if res.SpareExhaustSF < 0 && link.Mapper().SparesLeft() == 0 {
+			res.SpareExhaustSF = sf
+			logf("sf=%d spares-exhausted", sf)
+		}
+	}
+
+	res.Superframes = cfg.Superframes
+	res.LanesEnd = link.Mapper().NumLanes()
+	res.SparesEnd = link.Mapper().SparesLeft()
+	res.SurvivedFullWidth = res.DegradedSF < 0
+	tr := link.Monitor().Transitions()
+	res.Transitions = phy.TransitionCounts{
+		HealthyToDegraded: tr.HealthyToDegraded - base.HealthyToDegraded,
+		DegradedToHealthy: tr.DegradedToHealthy - base.DegradedToHealthy,
+		DegradedToFailed:  tr.DegradedToFailed - base.DegradedToFailed,
+		HealthyToFailed:   tr.HealthyToFailed - base.HealthyToFailed,
+	}
+	return res, nil
+}
+
+// Summary renders the aggregate counters as a short multi-line report.
+func (r *Result) Summary() string {
+	mile := func(sf int) string {
+		if sf < 0 {
+			return "never"
+		}
+		return fmt.Sprintf("sf=%d", sf)
+	}
+	return fmt.Sprintf(
+		"superframes=%d frames=%d/%d delivered (%d corrupted, %d lost), units_lost=%d, corrections=%d\n"+
+			"remaps=%d maintenance=%d transitions{h>d=%d d>h=%d d>f=%d h>f=%d}\n"+
+			"first-drop=%s degraded=%s spares-exhausted=%s lanes=%d->%d spares_left=%d survived_full_width=%v",
+		r.Superframes, r.FramesDelivered, r.FramesIn, r.FramesCorrupted, r.FramesLost,
+		r.UnitsLost, r.Corrections,
+		r.Remaps, r.MaintenanceActions,
+		r.Transitions.HealthyToDegraded, r.Transitions.DegradedToHealthy,
+		r.Transitions.DegradedToFailed, r.Transitions.HealthyToFailed,
+		mile(r.FirstDropSF), mile(r.DegradedSF), mile(r.SpareExhaustSF),
+		r.LanesStart, r.LanesEnd, r.SparesEnd, r.SurvivedFullWidth)
+}

@@ -1,0 +1,205 @@
+package faultinject
+
+import (
+	"strings"
+	"testing"
+
+	"mosaic/internal/phy"
+)
+
+// soakLink builds a small fast link: 12 lanes + spares, tiny stripe units
+// so the default traffic covers every lane, no FEC.
+func soakLink(t *testing.T, spares int, seed int64) *phy.Link {
+	t.Helper()
+	return soakLinkFEC(t, spares, seed, phy.NoFEC{})
+}
+
+// soakLinkFEC is soakLink with a chosen FEC: the aging and burst tests
+// need corrections (the monitor's BER estimate is corrections/bits, so a
+// FEC-less link cannot see graceful drift, only hard loss).
+func soakLinkFEC(t *testing.T, spares int, seed int64, fec phy.FEC) *phy.Link {
+	t.Helper()
+	link, err := phy.New(phy.Config{
+		Lanes:             12,
+		Spares:            spares,
+		FEC:               fec,
+		UnitLen:           63,
+		PerChannelBitRate: 2e9,
+		Seed:              seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return link
+}
+
+func runSoak(t *testing.T, link *phy.Link, sched Schedule, superframes int, maintainEvery int) *Result {
+	t.Helper()
+	cfg := Config{
+		Link:        link,
+		Schedule:    sched,
+		Superframes: superframes,
+		FramesPerSF: 8,
+		FrameLen:    120,
+		Seed:        5,
+	}
+	if maintainEvery > 0 {
+		cfg.MaintainEvery = maintainEvery
+		cfg.Policy = phy.DefaultMaintenancePolicy()
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func hasLog(res *Result, substr string) bool {
+	for _, line := range res.Log {
+		if strings.Contains(line, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSoakCleanRun(t *testing.T) {
+	res := runSoak(t, soakLink(t, 2, 1), Schedule{}, 20, 0)
+	if res.FramesDelivered != res.FramesIn {
+		t.Fatalf("clean run lost frames: %d/%d", res.FramesDelivered, res.FramesIn)
+	}
+	if res.Remaps != 0 || res.FirstDropSF != -1 || !res.SurvivedFullWidth {
+		t.Fatalf("clean run saw faults: %s", res.Summary())
+	}
+	if len(res.Log) != 0 {
+		t.Fatalf("clean run produced log entries: %v", res.Log)
+	}
+}
+
+func TestSoakKillIsSparedInvisiblyAfterOneSF(t *testing.T) {
+	sched := Schedule{Events: []Event{{At: 5, Kind: KindKill, Channel: 3}}}
+	res := runSoak(t, soakLink(t, 2, 1), sched, 30, 0)
+	if res.Remaps != 1 {
+		t.Fatalf("remaps = %d, want 1\n%s", res.Remaps, strings.Join(res.Log, "\n"))
+	}
+	// The kill costs at most the superframe it happened in; afterwards the
+	// spare carries the lane and the link runs clean at full width.
+	if res.FirstDropSF != 5 {
+		t.Errorf("first drop at sf %d, want 5", res.FirstDropSF)
+	}
+	if !res.SurvivedFullWidth || res.DegradedSF != -1 {
+		t.Errorf("link degraded: %s", res.Summary())
+	}
+	if !hasLog(res, "remap") || !hasLog(res, "transition ch=3 healthy->failed") {
+		t.Errorf("log missing remap/transition:\n%s", strings.Join(res.Log, "\n"))
+	}
+	// Only the one superframe dropped frames.
+	if res.FramesIn-res.FramesDelivered-res.FramesCorrupted > 8 {
+		t.Errorf("more than one superframe of loss: %s", res.Summary())
+	}
+}
+
+func TestSoakCorrelatedExhaustsSparesAndDegrades(t *testing.T) {
+	// 3 adjacent kills vs 2 spares: the neighborhood failure must exhaust
+	// the pool and then degrade the link by one lane.
+	sched := Schedule{Events: []Event{{At: 4, Kind: KindCorrelated, Channel: 5, Span: 3}}}
+	res := runSoak(t, soakLink(t, 2, 1), sched, 30, 0)
+	if res.Remaps != 3 {
+		t.Fatalf("remaps = %d, want 3\n%s", res.Remaps, strings.Join(res.Log, "\n"))
+	}
+	if res.SpareExhaustSF < 0 || res.DegradedSF < 0 {
+		t.Fatalf("expected exhaustion + degrade: %s", res.Summary())
+	}
+	if res.SurvivedFullWidth || res.LanesEnd != 11 || res.SparesEnd != 0 {
+		t.Fatalf("lanes=%d spares=%d: %s", res.LanesEnd, res.SparesEnd, res.Summary())
+	}
+	if !hasLog(res, "spares-exhausted") || !hasLog(res, "degraded lanes=11/12") {
+		t.Errorf("log missing milestones:\n%s", strings.Join(res.Log, "\n"))
+	}
+}
+
+func TestSoakAgingTriggersProactiveMaintenance(t *testing.T) {
+	// A slow BER ramp with maintenance enabled: the channel must be
+	// replaced proactively (a maintain action, not a hard-failure remap)
+	// with zero frame loss.
+	sched := Schedule{Events: []Event{
+		{At: 2, Kind: KindAging, Channel: 4, BER: 1e-4, Duration: 8},
+	}}
+	link := soakLinkFEC(t, 2, 1, phy.NewRSLite())
+	res := runSoak(t, link, sched, 40, 5)
+	if res.MaintenanceActions != 1 {
+		t.Fatalf("maintenance actions = %d, want 1\n%s",
+			res.MaintenanceActions, strings.Join(res.Log, "\n"))
+	}
+	if res.Remaps != 0 {
+		t.Errorf("hard remaps = %d, want 0 (maintenance should win the race)", res.Remaps)
+	}
+	if res.FramesDelivered != res.FramesIn {
+		t.Errorf("aging episode lost frames: %s", res.Summary())
+	}
+	if link.Mapper().LaneOf(4) != -1 {
+		t.Error("aging channel still in service")
+	}
+	if !hasLog(res, "maintain") || !hasLog(res, "transition ch=4 healthy->degraded") {
+		t.Errorf("log missing maintenance story:\n%s", strings.Join(res.Log, "\n"))
+	}
+}
+
+func TestSoakBurstRecoversWithoutSparing(t *testing.T) {
+	// A burst-noise episode without maintenance: corrections spike, the
+	// channel may classify degraded, but nothing is spared and the BER
+	// returns to the pre-burst value.
+	sched := Schedule{Events: []Event{
+		{At: 5, Kind: KindBurst, Channel: 7, BER: 3e-4, Duration: 4},
+	}}
+	link := soakLinkFEC(t, 2, 1, phy.NewRSLite())
+	res := runSoak(t, link, sched, 20, 0)
+	if res.Remaps != 0 {
+		t.Fatalf("burst caused remaps:\n%s", strings.Join(res.Log, "\n"))
+	}
+	if link.ChannelBER(7) != 0 {
+		t.Errorf("burst did not restore BER: %g", link.ChannelBER(7))
+	}
+	if res.Corrections == 0 && res.FramesDelivered == res.FramesIn {
+		// NoFEC cannot correct, so the burst must at least damage frames.
+		t.Error("burst had no observable effect")
+	}
+	if !hasLog(res, "inject sf=5 burst ch=7") {
+		t.Errorf("log missing burst injection:\n%s", strings.Join(res.Log, "\n"))
+	}
+}
+
+func TestSoakConfigValidation(t *testing.T) {
+	link := soakLink(t, 1, 1)
+	bad := []Config{
+		{},
+		{Link: link},
+		{Link: link, Superframes: 10},
+		{Link: link, Superframes: 10, FramesPerSF: 4, FrameLen: 2},
+		{Link: link, Superframes: 10, FramesPerSF: 4, FrameLen: 64,
+			Schedule: Schedule{Events: []Event{{At: -3, Kind: KindKill}}}},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestSoakMaxLogCapsEntriesNotCounters(t *testing.T) {
+	sched := Schedule{Events: []Event{{At: 1, Kind: KindCorrelated, Channel: 0, Span: 4}}}
+	link := soakLink(t, 2, 1)
+	res, err := Run(Config{
+		Link: link, Schedule: sched, Superframes: 15,
+		FramesPerSF: 8, FrameLen: 120, Seed: 5, MaxLog: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Log) != 2 {
+		t.Fatalf("log length %d, want cap 2", len(res.Log))
+	}
+	if res.Remaps != 4 {
+		t.Fatalf("remaps = %d, want 4 despite capped log", res.Remaps)
+	}
+}

@@ -1,0 +1,123 @@
+package faultinject
+
+import (
+	"math"
+	"testing"
+
+	"mosaic/internal/reliability"
+)
+
+func TestClosedFormMatchesBinomial(t *testing.T) {
+	// ClosedFormSurvival must be the exact binomial CDF: P(failures <= s)
+	// with per-channel failure probability 1-(1-p)^T.
+	const lanes, spares, T = 16, 2, 40
+	const p = 0.002
+	got := ClosedFormSurvival(lanes, spares, p, T)
+	pf := 1 - math.Pow(1-p, T)
+	want := 0.0
+	n := lanes + spares
+	for k := 0; k <= spares; k++ {
+		want += choose(n, k) * math.Pow(pf, float64(k)) * math.Pow(1-pf, float64(n-k))
+	}
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("closed form %.12f, want %.12f", got, want)
+	}
+}
+
+func choose(n, k int) float64 {
+	out := 1.0
+	for i := 0; i < k; i++ {
+		out *= float64(n-i) / float64(i+1)
+	}
+	return out
+}
+
+func TestSurvivalStudyAgreesWithClosedForm(t *testing.T) {
+	// The pipeline-level survival fraction must match the k-of-n closed
+	// form within the Monte-Carlo band. Small but real: 80 trials of a
+	// 10+2 link, hazard tuned so ~35% of trials see >2 failures.
+	res, err := SurvivalStudy(SurvivalConfig{
+		Lanes:       10,
+		Spares:      2,
+		HazardPerSF: 0.004,
+		Superframes: 30,
+		Trials:      80,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Agrees() {
+		t.Fatalf("sim %.3f vs closed form %.3f exceeds tolerance %.3f",
+			res.SimSurvival, res.ClosedForm, res.Tolerance)
+	}
+	if res.ClosedForm <= 0.3 || res.ClosedForm >= 0.99 {
+		t.Fatalf("test operating point degenerate: closed form %.3f", res.ClosedForm)
+	}
+	if res.MeanRemaps <= 0 {
+		t.Fatal("no remaps across the whole study; faults are not reaching the pipeline")
+	}
+	// Any trial that lost a lane must also have dropped frames (a death
+	// with no spare left is visible traffic damage).
+	if res.Survived < res.Trials && res.DroppedTrials == 0 {
+		t.Fatal("trials degraded without ever dropping a frame")
+	}
+}
+
+func TestSurvivalStudyDeterministic(t *testing.T) {
+	cfg := SurvivalConfig{
+		Lanes: 8, Spares: 1, HazardPerSF: 0.005, Superframes: 20,
+		Trials: 25, Seed: 7,
+	}
+	a, err := SurvivalStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 1
+	b, err := SurvivalStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("worker count changed the study:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestSurvivalStudyValidation(t *testing.T) {
+	bad := []SurvivalConfig{
+		{},
+		{Lanes: 8, Spares: 1, HazardPerSF: 0, Superframes: 10, Trials: 5},
+		{Lanes: 8, Spares: 1, HazardPerSF: 1.5, Superframes: 10, Trials: 5},
+		{Lanes: 0, Spares: 1, HazardPerSF: 0.01, Superframes: 10, Trials: 5},
+		{Lanes: 8, Spares: 1, HazardPerSF: 0.01, Superframes: 10, Trials: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := SurvivalStudy(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+// TestSurvivalZeroSparesMatchesSeries sanity-checks the degenerate case:
+// with no spares the closed form collapses to the series-system survival
+// (1-p)^(n*T)-ish, and the study must still agree.
+func TestSurvivalZeroSparesMatchesSeries(t *testing.T) {
+	res, err := SurvivalStudy(SurvivalConfig{
+		Lanes: 8, Spares: 0, HazardPerSF: 0.001, Superframes: 25,
+		Trials: 60, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := reliability.SparedSystem{
+		N: 8, Spares: 0,
+		PerChannel: reliability.FIT(-math.Log(1-0.001) * 1e9),
+	}.SurvivalProb(25)
+	if math.Abs(res.ClosedForm-series) > 1e-12 {
+		t.Fatalf("zero-spare closed form %.6f != series %.6f", res.ClosedForm, series)
+	}
+	if !res.Agrees() {
+		t.Fatalf("sim %.3f vs closed form %.3f (tol %.3f)",
+			res.SimSurvival, res.ClosedForm, res.Tolerance)
+	}
+}

@@ -77,6 +77,8 @@ type Link struct {
 	descrambler *linecode.Descrambler
 	scratch     linkScratch
 	probe       probeScratch
+
+	superframes uint64 // completed Exchange rounds
 }
 
 // New builds a link. The channels start error-free; use SetChannelBER (or
@@ -134,6 +136,31 @@ func (l *Link) SetChannelBER(physical int, ber float64) {
 		c.BER = ber
 	}
 }
+
+// ChannelBER returns the configured bit error rate of a physical channel
+// (0 for out-of-range channels). Fault-injection schedules read it to
+// ramp or temporarily override a channel's noise level.
+func (l *Link) ChannelBER(physical int) float64 {
+	if physical >= 0 && physical < len(l.channels) {
+		return l.channels[physical].BER
+	}
+	return 0
+}
+
+// ChannelDead reports whether a physical channel's transmitter has been
+// killed via KillChannel.
+func (l *Link) ChannelDead(physical int) bool {
+	if physical >= 0 && physical < len(l.channels) {
+		return l.channels[physical].Dead
+	}
+	return false
+}
+
+// Superframes returns how many Exchange rounds the link has completed.
+// Fault schedules and maintenance cadences key off this counter: remaps
+// and injected events take effect at superframe boundaries, like the
+// hardware swapping lanes between alignment periods.
+func (l *Link) Superframes() uint64 { return l.superframes }
 
 // SetChannelSkew sets the skew (random prefix bytes) of a physical channel.
 func (l *Link) SetChannelSkew(physical, bytes int) {
@@ -235,6 +262,7 @@ func (l *Link) Exchange(frames [][]byte) ([][]byte, ExchangeStats, error) {
 	if st.FramesLost < 0 {
 		st.FramesLost = 0
 	}
+	l.superframes++
 	return delivered, st, nil
 }
 

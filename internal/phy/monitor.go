@@ -62,13 +62,25 @@ func (h ChannelHealth) EstimatedBER() float64 {
 	return float64(h.Corrections) / float64(h.BitsObserved)
 }
 
+// TransitionCounts aggregates state-machine transitions across all
+// channels of a monitor. Failure-injection harnesses use these to assert
+// that device-level events surfaced as the expected classifications.
+type TransitionCounts struct {
+	HealthyToDegraded uint64
+	DegradedToHealthy uint64
+	DegradedToFailed  uint64
+	HealthyToFailed   uint64
+}
+
 // Monitor tracks the health of every physical channel from the per-frame
 // statistics the framer reports. This is the observability layer a real
 // Mosaic module exposes to its sparing logic: per-channel corrected-error
 // counters are a free byproduct of FEC decoding.
 type Monitor struct {
-	cfg      MonitorConfig
-	channels []ChannelHealth
+	cfg         MonitorConfig
+	channels    []ChannelHealth
+	transitions TransitionCounts
+	onTransit   func(physical int, from, to ChannelState)
 }
 
 // NewMonitor creates a monitor over n physical channels.
@@ -99,19 +111,55 @@ func (m *Monitor) Observe(physical, expectedFrames, gotFrames, corrections int, 
 	switch {
 	case expectedFrames > 0 &&
 		float64(expectedFrames-gotFrames)/float64(expectedFrames) >= m.cfg.FailedLossRatio:
-		h.State = Failed
+		m.setState(physical, Failed)
 	case h.State != Failed && h.EstimatedBER() > m.cfg.DegradedBER:
-		h.State = Degraded
+		m.setState(physical, Degraded)
 	case h.State == Degraded && h.EstimatedBER() <= m.cfg.DegradedBER:
-		h.State = Healthy
+		m.setState(physical, Healthy)
 	}
+}
+
+// setState applies a classification, counting the transition and firing
+// the hook when the state actually changes.
+func (m *Monitor) setState(physical int, to ChannelState) {
+	h := &m.channels[physical]
+	from := h.State
+	if from == to {
+		return
+	}
+	h.State = to
+	switch {
+	case from == Healthy && to == Degraded:
+		m.transitions.HealthyToDegraded++
+	case from == Degraded && to == Healthy:
+		m.transitions.DegradedToHealthy++
+	case from == Degraded && to == Failed:
+		m.transitions.DegradedToFailed++
+	case from == Healthy && to == Failed:
+		m.transitions.HealthyToFailed++
+	}
+	if m.onTransit != nil {
+		m.onTransit(physical, from, to)
+	}
+}
+
+// Transitions returns the cumulative transition counters.
+func (m *Monitor) Transitions() TransitionCounts { return m.transitions }
+
+// SetTransitionHook registers fn to be called on every channel state
+// change (from Observe or MarkFailed). The hook runs synchronously on the
+// observing goroutine — lane observations fold serially in lane order, so
+// a fixed seed produces an identical call sequence at any worker count.
+// Pass nil to remove the hook.
+func (m *Monitor) SetTransitionHook(fn func(physical int, from, to ChannelState)) {
+	m.onTransit = fn
 }
 
 // MarkFailed forces a channel into the failed state (e.g. laser-off test
 // or an explicit kill in a failure-injection experiment).
 func (m *Monitor) MarkFailed(physical int) {
 	if physical >= 0 && physical < len(m.channels) {
-		m.channels[physical].State = Failed
+		m.setState(physical, Failed)
 	}
 }
 

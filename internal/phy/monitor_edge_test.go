@@ -1,0 +1,172 @@
+package phy
+
+import "testing"
+
+// Edge cases of the monitor/maintenance state machine that the happy-path
+// maintenance tests don't reach: spare-pool exhaustion with no reserve,
+// worst-first ordering under simultaneous drift, degradation when the
+// pool is already empty, and the transition counters behind them.
+
+func TestMaintainKeepSparesZeroExhaustsPool(t *testing.T) {
+	link := maintFixture(t) // 20 lanes + 3 spares
+	for _, p := range []int{2, 5, 9, 12} {
+		link.SetChannelBER(p, 1e-4)
+	}
+	trafficRounds(t, link, 5)
+	policy := MaintenancePolicy{SpareAboveBER: 1e-6, KeepSpares: 0}
+	actions := link.Maintain(policy)
+	// With no reserve the policy may consume the whole pool — but only
+	// the pool: the fourth drifting channel must stay in service rather
+	// than degrade the link.
+	if len(actions) != 3 {
+		t.Fatalf("actions = %d, want 3 (pool size): %v", len(actions), actions)
+	}
+	if left := link.Mapper().SparesLeft(); left != 0 {
+		t.Errorf("spares left = %d, want 0", left)
+	}
+	if lanes := link.Mapper().NumLanes(); lanes != 20 {
+		t.Errorf("lanes = %d; proactive maintenance must never degrade the link", lanes)
+	}
+	for _, a := range actions {
+		if a.Event.Degraded {
+			t.Errorf("action degraded the link: %v", a)
+		}
+	}
+	// Exactly one of the four drifters is still carrying traffic.
+	stillActive := 0
+	for _, p := range []int{2, 5, 9, 12} {
+		if link.Mapper().LaneOf(p) >= 0 {
+			stillActive++
+		}
+	}
+	if stillActive != 1 {
+		t.Errorf("%d drifting channels still active, want 1", stillActive)
+	}
+	// A second pass has nothing left to spend.
+	if again := link.Maintain(policy); len(again) != 0 {
+		t.Errorf("maintenance acted with an empty pool: %v", again)
+	}
+}
+
+func TestMaintainOrdersSimultaneousDriftWorstFirst(t *testing.T) {
+	link := maintFixture(t)
+	// Three channels cross the policy line in the same window, at
+	// different severities. Replacement must go worst-first so a tight
+	// spare budget is always spent on the biggest risk.
+	link.SetChannelBER(17, 2e-5)
+	link.SetChannelBER(3, 5e-5)
+	link.SetChannelBER(12, 1e-4)
+	trafficRounds(t, link, 5)
+	actions := link.Maintain(MaintenancePolicy{SpareAboveBER: 1e-6, KeepSpares: 0})
+	if len(actions) != 3 {
+		t.Fatalf("actions = %v, want 3", actions)
+	}
+	want := []int{12, 3, 17}
+	for i, a := range actions {
+		if a.Physical != want[i] {
+			t.Fatalf("action %d spared channel %d, want %d (worst first): %v",
+				i, a.Physical, want[i], actions)
+		}
+	}
+	for i := 1; i < len(actions); i++ {
+		if actions[i].EstimatedBER > actions[i-1].EstimatedBER {
+			t.Errorf("actions not sorted by estimated BER: %v", actions)
+		}
+	}
+}
+
+func TestDegradedToFailedWithNoSpares(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Lanes = 20
+	cfg.Spares = 0
+	link, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase 1: channel 6 drifts — corrections push its lifetime estimate
+	// over the degraded line while every frame still arrives.
+	link.SetChannelBER(6, 3e-5)
+	trafficRounds(t, link, 3)
+	if st := link.Monitor().Health(6).State; st != Degraded {
+		t.Fatalf("state after drift = %v, want degraded", st)
+	}
+	// Phase 2: the channel dies outright; the next window classifies the
+	// loss as a failure.
+	link.KillChannel(6)
+	trafficRounds(t, link, 1)
+	if st := link.Monitor().Health(6).State; st != Failed {
+		t.Fatalf("state after kill = %v, want failed", st)
+	}
+	tr := link.Monitor().Transitions()
+	if tr.HealthyToDegraded != 1 || tr.DegradedToFailed != 1 || tr.HealthyToFailed != 0 {
+		t.Errorf("transitions = %+v, want exactly healthy->degraded->failed", tr)
+	}
+	// Phase 3: with zero spares, sparing out the failure must degrade the
+	// link to fewer lanes instead of remapping.
+	ev := link.FailChannel(6)
+	if !ev.Degraded || ev.Spare != -1 {
+		t.Fatalf("remap event = %v, want degradation with no spare", ev)
+	}
+	if lanes := link.Mapper().NumLanes(); lanes != 19 {
+		t.Errorf("lanes = %d, want 19", lanes)
+	}
+	// The narrowed link still delivers cleanly.
+	_, st, err := link.Exchange([][]byte{make([]byte, 1500)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FramesDelivered != st.FramesIn {
+		t.Errorf("delivered %d/%d after degradation", st.FramesDelivered, st.FramesIn)
+	}
+}
+
+func TestTransitionCountsRecovery(t *testing.T) {
+	link := maintFixture(t)
+	// A short BER excursion marks the channel degraded; sustained clean
+	// traffic dilutes the lifetime estimate back under the line and the
+	// monitor must record the recovery.
+	link.SetChannelBER(4, 2e-5)
+	trafficRounds(t, link, 2)
+	if st := link.Monitor().Health(4).State; st != Degraded {
+		t.Fatalf("state after excursion = %v, want degraded", st)
+	}
+	link.SetChannelBER(4, 0)
+	for i := 0; i < 200 && link.Monitor().Health(4).State == Degraded; i++ {
+		trafficRounds(t, link, 1)
+	}
+	if st := link.Monitor().Health(4).State; st != Healthy {
+		t.Fatalf("state never recovered: %v (estBER %.2e)",
+			st, link.Monitor().Health(4).EstimatedBER())
+	}
+	tr := link.Monitor().Transitions()
+	if tr.HealthyToDegraded != 1 || tr.DegradedToHealthy != 1 {
+		t.Errorf("transitions = %+v, want one degradation and one recovery", tr)
+	}
+}
+
+func TestMarkFailedCountsOnceAndHooksFire(t *testing.T) {
+	m := NewMonitor(4, DefaultMonitorConfig())
+	var calls []ChannelState
+	m.SetTransitionHook(func(physical int, from, to ChannelState) {
+		if physical != 2 {
+			t.Errorf("hook physical = %d, want 2", physical)
+		}
+		calls = append(calls, to)
+	})
+	m.MarkFailed(2)
+	m.MarkFailed(2) // no state change: must not count or fire again
+	m.MarkFailed(-1)
+	m.MarkFailed(99)
+	tr := m.Transitions()
+	if tr.HealthyToFailed != 1 {
+		t.Errorf("HealthyToFailed = %d, want 1", tr.HealthyToFailed)
+	}
+	if len(calls) != 1 || calls[0] != Failed {
+		t.Errorf("hook calls = %v, want one failed transition", calls)
+	}
+	m.SetTransitionHook(nil)
+	m.MarkFailed(3) // nil hook must be a no-op, not a panic
+	if got := m.Transitions().HealthyToFailed; got != 2 {
+		t.Errorf("HealthyToFailed = %d, want 2", got)
+	}
+}
