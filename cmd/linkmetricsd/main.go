@@ -1,0 +1,187 @@
+// Command linkmetricsd is the serving face of the telemetry layer: it
+// drives a Mosaic link through continuous fault-injection soak rounds and
+// exposes the live metric registry over HTTP —
+//
+//	/metrics        Prometheus text exposition (per-link and per-channel)
+//	/metrics.json   the same registry as a JSON snapshot
+//	/healthz        link health summary; 200 at full width, 503 degraded
+//	/debug/pprof/   net/http/pprof (CPU, heap, goroutine, ...)
+//
+// Each round replays a seeded random-kill schedule (seed + round index,
+// so rounds differ but a given invocation is reproducible) against the
+// same link while reactive sparing and proactive maintenance respond.
+// When the link finally wears out (no lanes left), it is replaced by a
+// fresh one — counted in mosaic_soakd_link_replacements_total — and the
+// soak continues, so the daemon models a module swap rather than dying.
+//
+//	linkmetricsd                            # 100+4 channels on :9090
+//	linkmetricsd -addr :8080 -hazard 0.01   # faster wear for demos
+//	linkmetricsd -rounds 3                  # soak 3 rounds, then just serve
+//
+// The HTTP side never touches the link: scrapes read only the registry's
+// atomics, which the soak goroutine refreshes at superframe boundaries.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+
+	"mosaic/internal/faultinject"
+	"mosaic/internal/phy"
+	"mosaic/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":9090", "HTTP listen address")
+		lanes       = flag.Int("lanes", 100, "active data lanes")
+		spares      = flag.Int("spares", 4, "spare channels")
+		fecName     = flag.String("fec", "rslite", "per-channel FEC: none|hamming72|rslite|kp4")
+		unitLen     = flag.Int("unit", 243, "stripe unit length in bytes (multiple of 9)")
+		superframes = flag.Int("superframes", 240, "superframes per soak round")
+		frames      = flag.Int("frames", 24, "frames per superframe")
+		frameLen    = flag.Int("framesize", 1500, "bytes per frame")
+		seed        = flag.Int64("seed", 1, "base seed; round r uses seed+r for its schedule")
+		workers     = flag.Int("workers", 0, "PHY lane workers (0 = all cores)")
+		hazard      = flag.Float64("hazard", 0.0005, "per-superframe channel death probability per round")
+		maintEvery  = flag.Int("maintain-every", 10, "superframes between proactive maintenance passes (0 = never)")
+		keepSpares  = flag.Int("keep-spares", 1, "spares held back for hard failures")
+		spareAbove  = flag.Float64("spare-above", 1e-6, "proactive remap threshold (estimated BER)")
+		rounds      = flag.Int("rounds", 0, "soak rounds to run (0 = forever); serving continues after the last round")
+	)
+	flag.Parse()
+
+	fec, err := phy.FECByName(*fecName)
+	if err != nil {
+		fatal(err)
+	}
+	newLink := func() *phy.Link {
+		link, err := phy.New(phy.Config{
+			Lanes:             *lanes,
+			Spares:            *spares,
+			FEC:               fec,
+			UnitLen:           *unitLen,
+			PerChannelBitRate: 2e9,
+			Seed:              *seed,
+			Workers:           *workers,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		return link
+	}
+
+	reg := telemetry.NewRegistry()
+	reg.Help("mosaic_soakd_rounds_total", "completed soak rounds")
+	reg.Help("mosaic_soakd_link_replacements_total", "worn-out links replaced by a fresh module")
+	roundsTotal := reg.Counter("mosaic_soakd_rounds_total")
+	replacements := reg.Counter("mosaic_soakd_link_replacements_total")
+
+	// The health view reads only registry gauges — the soak goroutine
+	// owns the link, so /healthz can never race it (or crash on it: the
+	// whole accessor surface underneath is bounds-guarded).
+	lanesActive := reg.Gauge("mosaic_link_lanes_active")
+	sparesLeft := reg.Gauge("mosaic_link_spares_left")
+	superframesG := reg.Gauge("mosaic_link_superframes")
+	healthz := func(w http.ResponseWriter, _ *http.Request) {
+		active := int(lanesActive.Value())
+		status := "ok"
+		code := http.StatusOK
+		if active < *lanes {
+			status = "degraded"
+			code = http.StatusServiceUnavailable
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"status":           status,
+			"lanes_active":     active,
+			"lanes_configured": *lanes,
+			"spares_left":      int(sparesLeft.Value()),
+			"superframes":      int64(superframesG.Value()),
+			"soak_rounds":      roundsTotal.Value(),
+		})
+	}
+
+	go soakLoop(newLink, reg, roundsTotal, replacements, soakParams{
+		channels:    *lanes + *spares,
+		superframes: *superframes,
+		frames:      *frames,
+		frameLen:    *frameLen,
+		seed:        *seed,
+		hazard:      *hazard,
+		maintEvery:  *maintEvery,
+		keepSpares:  *keepSpares,
+		spareAbove:  *spareAbove,
+		rounds:      *rounds,
+	})
+
+	log.Printf("linkmetricsd: serving /metrics /metrics.json /healthz /debug/pprof on %s", *addr)
+	if err := http.ListenAndServe(*addr, telemetry.NewMux(reg, healthz)); err != nil {
+		fatal(err)
+	}
+}
+
+type soakParams struct {
+	channels, superframes, frames, frameLen int
+	seed                                    int64
+	hazard                                  float64
+	maintEvery, keepSpares, rounds          int
+	spareAbove                              float64
+}
+
+// soakLoop runs soak rounds forever (or for params.rounds), feeding reg.
+// A round that fails — a link with no lanes left cannot Exchange — swaps
+// in a fresh link and keeps going.
+func soakLoop(newLink func() *phy.Link, reg *telemetry.Registry,
+	roundsTotal, replacements *telemetry.Counter, p soakParams) {
+	link := newLink()
+	for round := 0; p.rounds == 0 || round < p.rounds; round++ {
+		var sched faultinject.Schedule
+		if p.hazard > 0 {
+			sched = faultinject.RandomKills(rand.New(rand.NewSource(p.seed+int64(round))),
+				p.channels, p.hazard, p.superframes)
+		}
+		res, err := faultinject.Run(faultinject.Config{
+			Link:        link,
+			Schedule:    sched,
+			Superframes: p.superframes,
+			FramesPerSF: p.frames,
+			FrameLen:    p.frameLen,
+			Seed:        p.seed,
+			Policy: phy.MaintenancePolicy{
+				SpareAboveBER: p.spareAbove,
+				KeepSpares:    p.keepSpares,
+			},
+			MaintainEvery: p.maintEvery,
+			Metrics:       reg,
+		})
+		roundsTotal.Inc()
+		if err != nil {
+			log.Printf("round %d: %v; replacing the link module", round, err)
+			replacements.Inc()
+			link = newLink()
+			continue
+		}
+		log.Printf("round %d: %s", round, firstLine(res.Summary()))
+	}
+	log.Printf("soak finished after %d rounds; still serving", p.rounds)
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "linkmetricsd:", err)
+	os.Exit(1)
+}

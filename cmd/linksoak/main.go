@@ -10,6 +10,7 @@
 //	linksoak -dump faults.json -hazard 0.002  # write the generated schedule
 //	linksoak -trials 200 -spares 2            # survival study vs closed form
 //	linksoak -json                            # machine-readable event log
+//	linksoak -metrics m.prom                  # dump a telemetry snapshot after the soak
 //
 // A fixed -seed and schedule produce a byte-identical event log at any
 // -workers value. Schedule files are JSON:
@@ -31,6 +32,7 @@ import (
 
 	"mosaic/internal/faultinject"
 	"mosaic/internal/phy"
+	"mosaic/internal/telemetry"
 )
 
 func main() {
@@ -52,6 +54,7 @@ func main() {
 		hazard      = flag.Float64("hazard", 0, "per-superframe channel death probability for a random-kill schedule")
 		trials      = flag.Int("trials", 0, "run a survival study of N trials instead of one soak")
 		jsonOut     = flag.Bool("json", false, "emit the result as JSON")
+		metricsPath = flag.String("metrics", "", "write a telemetry snapshot to this file after the soak (.json suffix = JSON, else Prometheus text); see cmd/linkmetricsd for live HTTP exposition")
 	)
 	flag.Parse()
 
@@ -96,6 +99,10 @@ func main() {
 		}
 	}
 
+	var reg *telemetry.Registry
+	if *metricsPath != "" {
+		reg = telemetry.NewRegistry()
+	}
 	res, err := faultinject.Run(faultinject.Config{
 		Link:        link,
 		Schedule:    sched,
@@ -108,9 +115,15 @@ func main() {
 			KeepSpares:    *keepSpares,
 		},
 		MaintainEvery: *maintEvery,
+		Metrics:       reg,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if reg != nil {
+		if err := telemetry.WriteFile(reg, *metricsPath); err != nil {
+			fatal(err)
+		}
 	}
 
 	if *jsonOut {

@@ -10,6 +10,7 @@
 //	mosaicbench -seed 7         # change the simulation seed
 //	mosaicbench -par 4          # generate experiments concurrently
 //	mosaicbench -soak           # fault-injection soak with a live event log
+//	mosaicbench -metrics m.prom # also write a telemetry snapshot (.json = JSON)
 //
 // With -par N the generators run on up to N goroutines; output is always
 // printed in registry order, and a fixed seed produces identical tables at
@@ -30,6 +31,7 @@ import (
 	"mosaic/internal/experiments"
 	"mosaic/internal/faultinject"
 	"mosaic/internal/phy"
+	"mosaic/internal/telemetry"
 )
 
 func main() {
@@ -40,14 +42,32 @@ func main() {
 		csvFlag  = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		parFlag  = flag.Int("par", 1, "run up to N experiment generators concurrently")
 		soakFlag = flag.Bool("soak", false, "run the default fault-injection soak scenario and exit")
+		metrFlag = flag.String("metrics", "", "write a telemetry snapshot to this file after the run (.json suffix = JSON, else Prometheus text)")
 	)
 	flag.Parse()
 
-	if *soakFlag {
-		if err := runSoak(*seedFlag); err != nil {
+	// Telemetry is write-only: tables and soak logs are byte-identical
+	// with or without it (pinned by the determinism tests).
+	var reg *telemetry.Registry
+	if *metrFlag != "" {
+		reg = telemetry.NewRegistry()
+	}
+	writeMetrics := func() {
+		if reg == nil {
+			return
+		}
+		if err := telemetry.WriteFile(reg, *metrFlag); err != nil {
 			fmt.Fprintf(os.Stderr, "mosaicbench: %v\n", err)
 			os.Exit(1)
 		}
+	}
+
+	if *soakFlag {
+		if err := runSoak(*seedFlag, reg); err != nil {
+			fmt.Fprintf(os.Stderr, "mosaicbench: %v\n", err)
+			os.Exit(1)
+		}
+		writeMetrics()
 		return
 	}
 
@@ -72,7 +92,7 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	results, err := experiments.Run(ids, *seedFlag, *parFlag)
+	results, err := experiments.RunMetered(ids, *seedFlag, *parFlag, reg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mosaicbench: %v (try -list)\n", err)
 		os.Exit(2)
@@ -88,12 +108,13 @@ func main() {
 			r.Table.Fprint(os.Stdout)
 		}
 	}
+	writeMetrics()
 }
 
 // runSoak drives the paper's prototype configuration (100 channels + 4
 // spares) through the default fault-injection scenario with proactive
 // maintenance enabled, printing the event log and summary.
-func runSoak(seed int64) error {
+func runSoak(seed int64, reg *telemetry.Registry) error {
 	const superframes = 120
 	cfg := phy.DefaultConfig()
 	cfg.Seed = seed
@@ -118,6 +139,7 @@ func runSoak(seed int64) error {
 		Seed:          seed,
 		Policy:        phy.DefaultMaintenancePolicy(),
 		MaintainEvery: 10,
+		Metrics:       reg,
 	})
 	if err != nil {
 		return err

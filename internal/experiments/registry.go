@@ -3,6 +3,9 @@ package experiments
 import (
 	"fmt"
 	"sync"
+	"time"
+
+	"mosaic/internal/telemetry"
 )
 
 // Experiment is one registered experiment: static metadata (usable
@@ -241,6 +244,18 @@ type Result struct {
 // registry order, regardless of completion order. Unknown IDs make Run
 // fail before any generator starts.
 func Run(ids []string, seed int64, par int) ([]Result, error) {
+	return RunMetered(ids, seed, par, nil)
+}
+
+// RunMetered is Run with optional telemetry: when reg is non-nil, each
+// generator's wall-clock duration lands in the
+// mosaic_experiment_duration_seconds histogram and a per-experiment
+// last-duration gauge, alongside run and error counters. Timings are
+// wall-clock and therefore nondeterministic — they flow only into the
+// registry, never into a table, so the generated output stays
+// byte-identical with telemetry on or off. The registry is safe for the
+// concurrent generators a par > 1 run spawns.
+func RunMetered(ids []string, seed int64, par int, reg *telemetry.Registry) ([]Result, error) {
 	sel := make([]int, 0, len(registry))
 	if len(ids) == 0 {
 		for i := range registry {
@@ -268,10 +283,27 @@ func Run(ids []string, seed int64, par int) ([]Result, error) {
 		}
 	}
 
+	var durations *telemetry.Histogram
+	if reg != nil {
+		reg.Help("mosaic_experiment_duration_seconds", "wall-clock generator duration per experiment run")
+		reg.Help("mosaic_experiment_runs_total", "experiment generator invocations")
+		durations = reg.Histogram("mosaic_experiment_duration_seconds", telemetry.DurationBuckets())
+	}
+
 	results := make([]Result, len(sel))
 	gen := func(k int) {
 		e := registry[sel[k]]
+		start := time.Now()
 		tab, err := e.Gen(seed)
+		if reg != nil {
+			d := time.Since(start).Seconds()
+			durations.Observe(d)
+			reg.Gauge("mosaic_experiment_last_duration_seconds", "experiment", e.ID).Set(d)
+			reg.Counter("mosaic_experiment_runs_total", "experiment", e.ID).Inc()
+			if err != nil {
+				reg.Counter("mosaic_experiment_errors_total", "experiment", e.ID).Inc()
+			}
+		}
 		results[k] = Result{Experiment: e, Table: tab, Err: err}
 	}
 	if par <= 1 || len(sel) == 1 {

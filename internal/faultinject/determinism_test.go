@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"mosaic/internal/phy"
+	"mosaic/internal/telemetry"
 )
 
 // The soak harness must be deterministic the same way the PHY pipeline is
@@ -22,7 +23,9 @@ import (
 const goldenSoakSHA = "c7d7a37d93c2aa17"
 
 // runGoldenSoak executes the pinned scenario at the given worker count.
-func runGoldenSoak(t *testing.T, workers int) (string, *Result) {
+// reg may be nil; the golden hash must not depend on it (telemetry is
+// write-only — TestSoakTelemetryPreservesGoldenLog pins exactly that).
+func runGoldenSoak(t *testing.T, workers int, reg *telemetry.Registry) (string, *Result) {
 	t.Helper()
 	link, err := phy.New(phy.Config{
 		Lanes:             12,
@@ -51,6 +54,7 @@ func runGoldenSoak(t *testing.T, workers int) (string, *Result) {
 		Seed:          21,
 		Policy:        phy.DefaultMaintenancePolicy(),
 		MaintainEvery: 6,
+		Metrics:       reg,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -63,7 +67,7 @@ func runGoldenSoak(t *testing.T, workers int) (string, *Result) {
 func TestSoakDeterminismAcrossWorkerCounts(t *testing.T) {
 	for _, w := range []int{1, 2, 3, 4, runtime.NumCPU(), 0} {
 		t.Run(fmt.Sprintf("workers=%d", w), func(t *testing.T) {
-			sha, res := runGoldenSoak(t, w)
+			sha, res := runGoldenSoak(t, w, nil)
 			if sha != goldenSoakSHA {
 				t.Errorf("event log hash = %s, want %s; log:\n%s",
 					sha, goldenSoakSHA, strings.Join(res.Log, "\n"))
@@ -84,8 +88,8 @@ func TestSoakDeterminismAcrossWorkerCounts(t *testing.T) {
 // TestSoakRerunIdentical re-runs the same scenario twice on fresh links
 // and requires identical logs — no hidden global state between runs.
 func TestSoakRerunIdentical(t *testing.T) {
-	a, _ := runGoldenSoak(t, 4)
-	b, _ := runGoldenSoak(t, 4)
+	a, _ := runGoldenSoak(t, 4, nil)
+	b, _ := runGoldenSoak(t, 4, nil)
 	if a != b {
 		t.Fatalf("re-run diverged: %s vs %s", a, b)
 	}

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 
 	"mosaic/internal/phy"
+	"mosaic/internal/telemetry"
 )
 
 // Config describes one soak run: a link under test, a fault schedule, the
@@ -29,6 +30,15 @@ type Config struct {
 	// MaxLog caps the event log (0 = 100000). Injections and milestones
 	// past the cap are still counted in the Result, just not logged.
 	MaxLog int
+
+	// Metrics, when non-nil, receives live telemetry for the run: the
+	// full per-link/per-channel metric set (telemetry.LinkCollector,
+	// refreshed at every superframe boundary) plus soak-level counters
+	// (injections by kind, remaps, maintenance actions, milestone
+	// superframes). Telemetry is strictly write-only from the soak's
+	// point of view — enabling it cannot change the event log, which the
+	// determinism tests pin byte-for-byte against the telemetry-off run.
+	Metrics *telemetry.Registry
 }
 
 // Result is the outcome of a soak run: the event log plus aggregate
@@ -124,12 +134,47 @@ func Run(cfg Config) (*Result, error) {
 		rng.Read(frames[i])
 	}
 
+	// Optional telemetry: the collector owns the link/channel metric set;
+	// the soak adds its own event counters. All of it is fed from this
+	// goroutine at superframe boundaries, never from a scrape.
+	var (
+		col         *telemetry.LinkCollector
+		mInject     map[Kind]*telemetry.Counter
+		mRemaps     *telemetry.Counter
+		mMaintain   *telemetry.Counter
+		mFirstDrop  *telemetry.Gauge
+		mDegraded   *telemetry.Gauge
+		mExhausted  *telemetry.Gauge
+		mSuperframe *telemetry.Counter
+	)
+	if cfg.Metrics != nil {
+		col = telemetry.NewLinkCollector(cfg.Metrics, link)
+		cfg.Metrics.Help("mosaic_soak_injections_total", "fault events injected, by kind")
+		cfg.Metrics.Help("mosaic_soak_first_drop_superframe", "superframe of the first lost/corrupted frame (-1 = never)")
+		mInject = make(map[Kind]*telemetry.Counter, 4)
+		for _, k := range []Kind{KindKill, KindAging, KindBurst, KindCorrelated} {
+			mInject[k] = cfg.Metrics.Counter("mosaic_soak_injections_total", "kind", string(k))
+		}
+		mRemaps = cfg.Metrics.Counter("mosaic_soak_remaps_total")
+		mMaintain = cfg.Metrics.Counter("mosaic_soak_maintenance_actions_total")
+		mSuperframe = cfg.Metrics.Counter("mosaic_soak_superframes_total")
+		mFirstDrop = cfg.Metrics.Gauge("mosaic_soak_first_drop_superframe")
+		mDegraded = cfg.Metrics.Gauge("mosaic_soak_degraded_superframe")
+		mExhausted = cfg.Metrics.Gauge("mosaic_soak_spare_exhaust_superframe")
+		mFirstDrop.SetInt(-1)
+		mDegraded.SetInt(-1)
+		mExhausted.SetInt(-1)
+	}
+
 	// Health transitions land in the log as they happen; sf tracks the
 	// current superframe for the hook.
 	sf := 0
 	base := link.Monitor().Transitions()
 	link.Monitor().SetTransitionHook(func(physical int, from, to phy.ChannelState) {
 		logf("sf=%d transition ch=%d %v->%v", sf, physical, from, to)
+		if col != nil {
+			col.OnTransition(physical, from, to)
+		}
 	})
 	defer link.Monitor().SetTransitionHook(nil)
 
@@ -146,6 +191,9 @@ func Run(cfg Config) (*Result, error) {
 		ev := link.FailChannel(physical)
 		res.Remaps++
 		logf("sf=%d remap %v", sf, ev)
+		if mRemaps != nil {
+			mRemaps.Inc()
+		}
 	}
 
 	for sf = 0; sf < cfg.Superframes; sf++ {
@@ -154,6 +202,9 @@ func Run(cfg Config) (*Result, error) {
 			e := cfg.Schedule.Events[next]
 			next++
 			logf("inject %v", e)
+			if ctr := mInject[e.Kind]; ctr != nil {
+				ctr.Inc()
+			}
 			switch e.Kind {
 			case KindKill:
 				link.KillChannel(e.Channel)
@@ -216,6 +267,13 @@ func Run(cfg Config) (*Result, error) {
 		if res.FirstDropSF < 0 && st.FramesDelivered < st.FramesIn {
 			res.FirstDropSF = sf
 			logf("sf=%d first-drop delivered=%d/%d", sf, st.FramesDelivered, st.FramesIn)
+			if mFirstDrop != nil {
+				mFirstDrop.SetInt(int64(sf))
+			}
+		}
+		if col != nil {
+			col.ObserveExchange(st)
+			mSuperframe.Inc()
 		}
 
 		// 4. Reactive sparing: monitor-failed channels are remapped at
@@ -230,6 +288,9 @@ func Run(cfg Config) (*Result, error) {
 				handled[a.Physical] = true
 				res.MaintenanceActions++
 				logf("sf=%d maintain %v", sf, a)
+				if mMaintain != nil {
+					mMaintain.Inc()
+				}
 			}
 		}
 
@@ -237,10 +298,22 @@ func Run(cfg Config) (*Result, error) {
 		if res.DegradedSF < 0 && link.Mapper().NumLanes() < res.LanesStart {
 			res.DegradedSF = sf
 			logf("sf=%d degraded lanes=%d/%d", sf, link.Mapper().NumLanes(), res.LanesStart)
+			if mDegraded != nil {
+				mDegraded.SetInt(int64(sf))
+			}
 		}
 		if res.SpareExhaustSF < 0 && link.Mapper().SparesLeft() == 0 {
 			res.SpareExhaustSF = sf
 			logf("sf=%d spares-exhausted", sf)
+			if mExhausted != nil {
+				mExhausted.SetInt(int64(sf))
+			}
+		}
+
+		// 7. Refresh gauges and per-channel counters at the boundary, so
+		// a concurrent scrape always sees a whole-superframe view.
+		if col != nil {
+			col.Sync()
 		}
 	}
 

@@ -55,11 +55,36 @@ type ChannelHealth struct {
 }
 
 // EstimatedBER returns the pre-FEC BER estimate from FEC corrections.
+//
+// The estimate only exists where FEC decoded something: a channel with
+// BitsObserved == 0 returns 0, which does NOT mean "perfect" — a
+// hard-killed channel that delivered nothing (FramesLost > 0) has no BER
+// evidence at all. Check HasBERData before treating 0 as a measurement,
+// and use LossRatio for the delivery dimension. The classifier is
+// consistent with this split: Observe declares such channels Failed via
+// the FailedLossRatio window test, never via the BER estimate.
 func (h ChannelHealth) EstimatedBER() float64 {
 	if h.BitsObserved == 0 {
 		return 0
 	}
 	return float64(h.Corrections) / float64(h.BitsObserved)
+}
+
+// HasBERData reports whether EstimatedBER is backed by decoded bits. It
+// is the NaN-free "no data" signal: false means the 0 from EstimatedBER
+// is absence of evidence, not a perfect channel.
+func (h ChannelHealth) HasBERData() bool { return h.BitsObserved > 0 }
+
+// LossRatio returns the lifetime fraction of expected frames that never
+// arrived (0 when the channel has seen no traffic). A dead channel shows
+// LossRatio 1 with HasBERData false — the loss dimension is where its
+// damage is visible, not the BER estimate.
+func (h ChannelHealth) LossRatio() float64 {
+	total := h.FramesOK + h.FramesLost
+	if total == 0 {
+		return 0
+	}
+	return float64(h.FramesLost) / float64(total)
 }
 
 // TransitionCounts aggregates state-machine transitions across all
@@ -107,7 +132,12 @@ func (m *Monitor) Observe(physical, expectedFrames, gotFrames, corrections int, 
 	h.Corrections += uint64(corrections)
 	h.BitsObserved += bits
 
-	// Classify using this window (loss) and lifetime (BER estimate).
+	// Classify using this window (loss) and lifetime (BER estimate). The
+	// two dimensions are deliberately independent: a channel delivering
+	// nothing has no decoded bits and therefore no BER estimate
+	// (HasBERData == false), so it must fail on the loss test here — the
+	// BER clauses below can never fire for it, and its EstimatedBER of 0
+	// is "no data", not "healthy".
 	switch {
 	case expectedFrames > 0 &&
 		float64(expectedFrames-gotFrames)/float64(expectedFrames) >= m.cfg.FailedLossRatio:
@@ -163,16 +193,29 @@ func (m *Monitor) MarkFailed(physical int) {
 	}
 }
 
-// Health returns a copy of one channel's health.
+// Health returns a copy of one channel's health. An out-of-range index
+// returns a zero-value health with Physical == -1 instead of panicking —
+// the same silent guard Observe and MarkFailed apply, so callers probing
+// a channel id from external input (a fault schedule, an HTTP query)
+// cannot crash the process.
 func (m *Monitor) Health(physical int) ChannelHealth {
+	if physical < 0 || physical >= len(m.channels) {
+		return ChannelHealth{Physical: -1}
+	}
 	return m.channels[physical]
 }
 
 // Snapshot returns a copy of all channels' health.
 func (m *Monitor) Snapshot() []ChannelHealth {
-	out := make([]ChannelHealth, len(m.channels))
-	copy(out, m.channels)
-	return out
+	return m.SnapshotInto(nil)
+}
+
+// SnapshotInto copies every channel's health into dst, reusing its
+// capacity (dst may be nil). Telemetry collectors call this once per
+// superframe; reusing the buffer keeps the observation path
+// allocation-free in steady state.
+func (m *Monitor) SnapshotInto(dst []ChannelHealth) []ChannelHealth {
+	return append(dst[:0], m.channels...)
 }
 
 // FailedChannels lists physical channels currently in the failed state.
@@ -187,12 +230,22 @@ func (m *Monitor) FailedChannels() []int {
 }
 
 // WorstChannels returns the k channels with the highest estimated BER,
-// worst first.
+// worst first. Ties break on the physical channel index (ascending), so
+// the order — and any exposition built from it — is stable across runs.
+// k is clamped to [0, number of channels]; a negative k returns an empty
+// slice instead of panicking.
 func (m *Monitor) WorstChannels(k int) []ChannelHealth {
 	snap := m.Snapshot()
 	sort.Slice(snap, func(i, j int) bool {
-		return snap[i].EstimatedBER() > snap[j].EstimatedBER()
+		bi, bj := snap[i].EstimatedBER(), snap[j].EstimatedBER()
+		if bi != bj {
+			return bi > bj
+		}
+		return snap[i].Physical < snap[j].Physical
 	})
+	if k < 0 {
+		k = 0
+	}
 	if k > len(snap) {
 		k = len(snap)
 	}

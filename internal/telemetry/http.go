@@ -1,0 +1,39 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// HTTP serving: NewMux wires a registry (and an optional health handler)
+// into a standalone *http.ServeMux with the standard operational
+// endpoints. The mux is deliberately explicit — nothing registers on
+// http.DefaultServeMux — so a binary can mount it wherever it wants:
+//
+//	/metrics        Prometheus text exposition
+//	/metrics.json   JSON snapshot of the same registry
+//	/healthz        the supplied health handler (404 when nil)
+//	/debug/pprof/*  net/http/pprof profiling (CPU, heap, goroutine, ...)
+
+// NewMux returns a mux serving the registry plus pprof. healthz may be
+// nil.
+func NewMux(r *Registry, healthz http.HandlerFunc) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+	if healthz != nil {
+		mux.HandleFunc("/healthz", healthz)
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
