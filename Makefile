@@ -7,9 +7,12 @@
 
 GO ?= go
 FUZZTIME ?= 20s
-FUZZ_TARGETS = FuzzFramerDecodeStream FuzzHammingFECDecode FuzzRSLiteDecode FuzzParseFramesNeverPanics
+# pkg:target pairs — go test runs one fuzz target at a time, per package.
+FUZZ_TARGETS = internal/phy:FuzzFramerDecodeStream internal/phy:FuzzHammingFECDecode \
+	internal/phy:FuzzRSLiteDecode internal/phy:FuzzParseFramesNeverPanics \
+	internal/mac:FuzzMACDeframe
 
-.PHONY: check vet build test race determinism staticcheck bench bench-check fuzz-smoke
+.PHONY: check vet build test race determinism staticcheck bench bench-mac bench-check fuzz-smoke
 
 check: vet staticcheck build test race determinism
 
@@ -38,21 +41,30 @@ race:
 determinism:
 	$(GO) test -run TestDeterminism -count=2 ./internal/phy/
 
-# Not part of check: the allocation-aware end-to-end benchmark.
+# Not part of check: the allocation-aware benchmarks. E10 exercises the
+# whole pipeline; the MAC round trip is pinned allocation-free.
 bench:
-	$(GO) test -bench 'BenchmarkE10EndToEnd$$' -benchmem -benchtime 3x -run '^$$' .
+	$(GO) test -bench 'BenchmarkE10EndToEnd$$|BenchmarkMACFrameRoundTrip$$' -benchmem -benchtime 3x -run '^$$' .
 
-# CI bench-regression gate: run the E10 benchmark, record BENCH_E10.json,
-# and fail if allocs/op regresses >10% against the committed baseline.
+# Standalone MAC framing benchmark at a stable iteration count; the JSON
+# record (no gating here — bench-check gates) lands in BENCH_MAC.json.
+bench-mac:
+	$(GO) test -bench 'BenchmarkMACFrameRoundTrip$$' -benchmem -benchtime 100000x -run '^$$' . | \
+		$(GO) run ./cmd/benchguard -out BENCH_MAC.json
+
+# CI bench-regression gate: run the baselined benchmarks, record
+# BENCH_E10.json, and fail if allocs/op regresses >10% against the
+# committed baseline (a baseline of exactly 0 allows no allocations at all).
 # After an intentional allocation change: make bench | go run ./cmd/benchguard -baseline ci/bench_baseline.json -update
 bench-check:
 	$(MAKE) --no-print-directory bench | $(GO) run ./cmd/benchguard \
 		-baseline ci/bench_baseline.json -out BENCH_E10.json
 
-# CI fuzz smoke: each fuzz target gets a short budget (go test runs one
-# fuzz target at a time, so this is a loop, not a single invocation).
+# CI fuzz smoke: each pkg:target pair gets a short budget (go test runs
+# one fuzz target at a time, so this is a loop, not a single invocation).
 fuzz-smoke:
 	@for t in $(FUZZ_TARGETS); do \
-		echo "== fuzz $$t ($(FUZZTIME)) =="; \
-		$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) ./internal/phy/ || exit 1; \
+		pkg=$${t%%:*}; fn=$${t##*:}; \
+		echo "== fuzz $$pkg $$fn ($(FUZZTIME)) =="; \
+		$(GO) test -run '^$$' -fuzz "^$$fn$$" -fuzztime $(FUZZTIME) ./$$pkg/ || exit 1; \
 	done

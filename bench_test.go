@@ -18,6 +18,7 @@ import (
 	"mosaic/internal/channel"
 	"mosaic/internal/core"
 	"mosaic/internal/experiments"
+	"mosaic/internal/mac"
 	"mosaic/internal/phy"
 	"mosaic/internal/power"
 	"mosaic/internal/reliability"
@@ -196,6 +197,24 @@ func BenchmarkE22SparingSoak(b *testing.B) {
 	b.ReportMetric(worst, "worst_abs_err")
 }
 
+func BenchmarkE23MACRenegotiation(b *testing.B) {
+	tab := runExperiment(b, "E23")
+	// Headline: flows stranded by the copper cut vs by the MAC's graceful
+	// renegotiation (the latter must be zero), and the final capacity
+	// fraction the bridge negotiated down to.
+	for i := range tab.Rows {
+		stalled, _ := strconv.ParseFloat(tab.Rows[i][2], 64)
+		switch tab.Rows[i][0] {
+		case "mosaic-aging(mac)":
+			b.ReportMetric(stalled, "mosaic_stalled")
+			frac, _ := strconv.ParseFloat(tab.Rows[i][5], 64)
+			b.ReportMetric(frac, "frac_end")
+		case "copper-link-down":
+			b.ReportMetric(stalled, "copper_stalled")
+		}
+	}
+}
+
 func BenchmarkA1Oversampling(b *testing.B) {
 	runExperiment(b, "A1")
 }
@@ -276,5 +295,38 @@ func BenchmarkFECSchemes(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkMACFrameRoundTrip measures the MAC framing hot path: append
+// one frame into a reused buffer and deframe it back. The baseline pins
+// this at 0 allocs/op — framing runs per superframe in the LLR, so any
+// steady-state allocation here is a regression (enforced by benchguard).
+func BenchmarkMACFrameRoundTrip(b *testing.B) {
+	payload := make([]byte, 1500)
+	rand.New(rand.NewSource(1)).Read(payload)
+	buf := make([]byte, 0, len(payload)+mac.Overhead)
+	var d mac.Deframer
+	got := 0
+	emit := func(fr mac.Frame) {
+		if len(fr.Payload) == len(payload) {
+			got++
+		}
+	}
+	// Warm the path once so one-time setup never counts as steady state.
+	buf = mac.AppendFrame(buf[:0], mac.FlagData, 0, 0, payload)
+	d.Deframe(buf, emit)
+	got = 0
+
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = mac.AppendFrame(buf[:0], mac.FlagData, uint16(i), uint16(i), payload)
+		d.Deframe(buf, emit)
+	}
+	b.StopTimer()
+	if got != b.N {
+		b.Fatalf("round-tripped %d/%d frames", got, b.N)
 	}
 }

@@ -103,9 +103,11 @@ func compare(current, baseline []Bench, maxRegress float64) []string {
 			bad = append(bad, fmt.Sprintf("%s: baselined benchmark missing from this run", base.Name))
 			continue
 		}
-		if base.AllocsPerOp <= 0 {
-			continue // nothing to gate against
+		if base.AllocsPerOp < 0 {
+			continue // explicitly ungated (e.g. a run without -benchmem)
 		}
+		// A baseline of exactly 0 is a hard gate: the benchmark is pinned
+		// allocation-free and any allocation at all is a regression.
 		limit := base.AllocsPerOp * (1 + maxRegress)
 		if cur.AllocsPerOp > limit {
 			bad = append(bad, fmt.Sprintf(

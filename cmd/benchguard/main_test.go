@@ -80,12 +80,27 @@ func TestCompare(t *testing.T) {
 	}
 }
 
-func TestCompareSkipsZeroAllocBaseline(t *testing.T) {
-	// A baseline entry without allocs/op (e.g. from a run missing
-	// -benchmem) gates nothing rather than failing everything.
-	base := []Bench{{Name: "BenchmarkX", AllocsPerOp: 0}}
-	cur := []Bench{{Name: "BenchmarkX", AllocsPerOp: 999999}}
-	if bad := compare(cur, base, 0.10); len(bad) != 0 {
-		t.Errorf("violations = %v, want none", bad)
+func TestCompareZeroAllocBaseline(t *testing.T) {
+	// allocs_per_op 0 pins a benchmark allocation-free: any allocation is
+	// a violation, no matter how small. A negative baseline (a run
+	// missing -benchmem) gates nothing.
+	base := []Bench{
+		{Name: "BenchmarkPinned", AllocsPerOp: 0},
+		{Name: "BenchmarkUngated", AllocsPerOp: -1},
+	}
+	cur := []Bench{
+		{Name: "BenchmarkPinned", AllocsPerOp: 1},
+		{Name: "BenchmarkUngated", AllocsPerOp: 999999},
+	}
+	bad := compare(cur, base, 0.10)
+	if len(bad) != 1 || !strings.Contains(bad[0], "BenchmarkPinned") {
+		t.Errorf("violations = %v, want exactly the pinned benchmark", bad)
+	}
+	clean := []Bench{
+		{Name: "BenchmarkPinned", AllocsPerOp: 0},
+		{Name: "BenchmarkUngated", AllocsPerOp: 5},
+	}
+	if bad := compare(clean, base, 0.10); len(bad) != 0 {
+		t.Errorf("violations = %v, want none for a 0-alloc run", bad)
 	}
 }

@@ -17,6 +17,12 @@
 //	linkmetricsd                            # 100+4 channels on :9090
 //	linkmetricsd -addr :8080 -hazard 0.01   # faster wear for demos
 //	linkmetricsd -rounds 3                  # soak 3 rounds, then just serve
+//	linkmetricsd -mac -max-retx-rate 0.2    # MAC session soak; 503 on retransmit storms
+//
+// With -mac each round drives a full MAC session (CRC framing, go-back-N
+// LLR, capacity bridge) instead of a bare-PHY soak, adding the
+// mosaic_mac_* metric set, and /healthz also returns 503 while the LLR
+// retransmit rate (windowed, endpoint "a") exceeds -max-retx-rate.
 //
 // The HTTP side never touches the link: scrapes read only the registry's
 // atomics, which the soak goroutine refreshes at superframe boundaries.
@@ -33,7 +39,9 @@ import (
 	"strings"
 
 	"mosaic/internal/faultinject"
+	"mosaic/internal/mac"
 	"mosaic/internal/phy"
+	"mosaic/internal/sim"
 	"mosaic/internal/telemetry"
 )
 
@@ -54,6 +62,8 @@ func main() {
 		keepSpares  = flag.Int("keep-spares", 1, "spares held back for hard failures")
 		spareAbove  = flag.Float64("spare-above", 1e-6, "proactive remap threshold (estimated BER)")
 		rounds      = flag.Int("rounds", 0, "soak rounds to run (0 = forever); serving continues after the last round")
+		macMode     = flag.Bool("mac", false, "soak a full MAC session per round (framing + LLR + bridge) instead of a bare PHY")
+		maxRetxRate = flag.Float64("max-retx-rate", 0.5, "/healthz returns 503 while the windowed LLR retransmit rate exceeds this fraction (0 disables)")
 	)
 	flag.Parse()
 
@@ -89,12 +99,18 @@ func main() {
 	lanesActive := reg.Gauge("mosaic_link_lanes_active")
 	sparesLeft := reg.Gauge("mosaic_link_spares_left")
 	superframesG := reg.Gauge("mosaic_link_superframes")
+	retxRate := reg.Gauge("mosaic_mac_retx_rate", "endpoint", "a")
 	healthz := func(w http.ResponseWriter, _ *http.Request) {
 		active := int(lanesActive.Value())
+		rate := retxRate.Value()
 		status := "ok"
 		code := http.StatusOK
 		if active < *lanes {
 			status = "degraded"
+			code = http.StatusServiceUnavailable
+		}
+		if *maxRetxRate > 0 && rate > *maxRetxRate {
+			status = "retx-storm"
 			code = http.StatusServiceUnavailable
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -106,10 +122,12 @@ func main() {
 			"spares_left":      int(sparesLeft.Value()),
 			"superframes":      int64(superframesG.Value()),
 			"soak_rounds":      roundsTotal.Value(),
+			"mac_retx_rate":    rate,
+			"max_retx_rate":    *maxRetxRate,
 		})
 	}
 
-	go soakLoop(newLink, reg, roundsTotal, replacements, soakParams{
+	params := soakParams{
 		channels:    *lanes + *spares,
 		superframes: *superframes,
 		frames:      *frames,
@@ -120,7 +138,12 @@ func main() {
 		keepSpares:  *keepSpares,
 		spareAbove:  *spareAbove,
 		rounds:      *rounds,
-	})
+	}
+	if *macMode {
+		go macSoakLoop(newLink, reg, roundsTotal, replacements, params)
+	} else {
+		go soakLoop(newLink, reg, roundsTotal, replacements, params)
+	}
 
 	log.Printf("linkmetricsd: serving /metrics /metrics.json /healthz /debug/pprof on %s", *addr)
 	if err := http.ListenAndServe(*addr, telemetry.NewMux(reg, healthz)); err != nil {
@@ -172,6 +195,61 @@ func soakLoop(newLink func() *phy.Link, reg *telemetry.Registry,
 		log.Printf("round %d: %s", round, firstLine(res.Summary()))
 	}
 	log.Printf("soak finished after %d rounds; still serving", p.rounds)
+}
+
+// nullSink is the MAC bridge's capacity sink when no network simulator
+// is attached: renegotiations land only in the metric registry.
+type nullSink struct{}
+
+func (nullSink) SetLinkCapacityFraction(int, float64) {}
+
+// macSoakLoop is soakLoop's MAC-mode twin: each round replays a seeded
+// random-kill schedule against the forward link of a full-duplex MAC
+// session, so the registry carries the mosaic_mac_* set (retransmits,
+// replay occupancy, credit stalls, renegotiations) on top of the
+// per-link metrics. Links persist across rounds and wear out; a round
+// that cannot run swaps in a fresh pair.
+func macSoakLoop(newLink func() *phy.Link, reg *telemetry.Registry,
+	roundsTotal, replacements *telemetry.Counter, p soakParams) {
+	fwd, rev := newLink(), newLink()
+	for round := 0; p.rounds == 0 || round < p.rounds; round++ {
+		var sched faultinject.Schedule
+		if p.hazard > 0 {
+			sched = faultinject.RandomKills(rand.New(rand.NewSource(p.seed+int64(round))),
+				p.channels, p.hazard, p.superframes)
+		}
+		eng := sim.NewEngine(p.seed + int64(round))
+		sess, err := mac.NewSession(mac.SessionConfig{
+			Engine:       eng,
+			Fwd:          fwd,
+			Rev:          rev,
+			Schedule:     sched,
+			Superframes:  p.superframes,
+			Interval:     1e-5,
+			PacketsPerSF: p.frames,
+			PacketLen:    p.frameLen,
+			Seed:         p.seed,
+			Bridge:       mac.NewBridge(fwd, nullSink{}, 0, eng),
+			Metrics:      reg,
+		})
+		if err != nil {
+			log.Printf("round %d: %v; replacing the link pair", round, err)
+			replacements.Inc()
+			fwd, rev = newLink(), newLink()
+			continue
+		}
+		eng.Run()
+		res := sess.Result()
+		roundsTotal.Inc()
+		if res.Err != "" {
+			log.Printf("round %d: %s; replacing the link pair", round, res.Err)
+			replacements.Inc()
+			fwd, rev = newLink(), newLink()
+			continue
+		}
+		log.Printf("round %d: %s", round, firstLine(res.Summary()))
+	}
+	log.Printf("mac soak finished after %d rounds; still serving", p.rounds)
 }
 
 func firstLine(s string) string {

@@ -11,6 +11,13 @@
 //	linksoak -trials 200 -spares 2            # survival study vs closed form
 //	linksoak -json                            # machine-readable event log
 //	linksoak -metrics m.prom                  # dump a telemetry snapshot after the soak
+//	linksoak -mac                             # soak a full MAC session (framing + LLR + bridge)
+//
+// With -mac the schedule is replayed against the forward link of a
+// full-duplex MAC pair instead of a bare PHY: client packets cross the
+// CRC-framed LLR while the bridge renegotiates capacity as sparing
+// consumes lanes. -frames/-framesize become client packets per
+// superframe and packet length.
 //
 // A fixed -seed and schedule produce a byte-identical event log at any
 // -workers value. Schedule files are JSON:
@@ -31,7 +38,9 @@ import (
 	"os"
 
 	"mosaic/internal/faultinject"
+	"mosaic/internal/mac"
 	"mosaic/internal/phy"
+	"mosaic/internal/sim"
 	"mosaic/internal/telemetry"
 )
 
@@ -55,6 +64,7 @@ func main() {
 		trials      = flag.Int("trials", 0, "run a survival study of N trials instead of one soak")
 		jsonOut     = flag.Bool("json", false, "emit the result as JSON")
 		metricsPath = flag.String("metrics", "", "write a telemetry snapshot to this file after the soak (.json suffix = JSON, else Prometheus text); see cmd/linkmetricsd for live HTTP exposition")
+		macMode     = flag.Bool("mac", false, "soak a full MAC session (CRC framing + LLR + capacity bridge) instead of a bare PHY")
 	)
 	flag.Parse()
 
@@ -103,6 +113,12 @@ func main() {
 	if *metricsPath != "" {
 		reg = telemetry.NewRegistry()
 	}
+
+	if *macMode {
+		runMACSoak(link, cfg, sched, *superframes, *frames, *frameLen, *seed, reg, *metricsPath, *jsonOut)
+		return
+	}
+
 	res, err := faultinject.Run(faultinject.Config{
 		Link:        link,
 		Schedule:    sched,
@@ -145,6 +161,74 @@ func main() {
 	}
 	fmt.Println()
 	fmt.Println(res.Summary())
+}
+
+// printSink is the MAC bridge's capacity sink when there is no network
+// simulator attached: renegotiations only land in the event log.
+type printSink struct{}
+
+func (printSink) SetLinkCapacityFraction(int, float64) {}
+
+// runMACSoak replays the schedule against the forward link of a
+// full-duplex MAC pair: client packets cross the CRC-framed go-back-N
+// LLR every superframe while reactive sparing remaps failures and the
+// bridge renegotiates capacity. The event log is byte-identical at any
+// -workers value, like the bare-PHY soak.
+func runMACSoak(fwd *phy.Link, cfg phy.Config, sched faultinject.Schedule,
+	superframes, packets, packetLen int, seed int64,
+	reg *telemetry.Registry, metricsPath string, jsonOut bool) {
+	revCfg := cfg
+	revCfg.Seed = cfg.Seed + 1
+	rev, err := phy.New(revCfg)
+	if err != nil {
+		fatal(err)
+	}
+	eng := sim.NewEngine(seed)
+	sess, err := mac.NewSession(mac.SessionConfig{
+		Engine:       eng,
+		Fwd:          fwd,
+		Rev:          rev,
+		Schedule:     sched,
+		Superframes:  superframes,
+		Interval:     1e-5,
+		PacketsPerSF: packets,
+		PacketLen:    packetLen,
+		Seed:         seed,
+		Bridge:       mac.NewBridge(fwd, printSink{}, 0, eng),
+		Metrics:      reg,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	eng.Run()
+	res := sess.Result()
+	if reg != nil {
+		if err := telemetry.WriteFile(reg, metricsPath); err != nil {
+			fatal(err)
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("mac soak: %d+%d channels, %s FEC, %d superframes x %d packets x %dB, seed %d\n",
+		cfg.Lanes, cfg.Spares, cfg.FEC.Name(), superframes, packets, packetLen, seed)
+	for _, e := range sched.Events {
+		fmt.Printf("scheduled: %v\n", e)
+	}
+	fmt.Println()
+	for _, line := range res.Log {
+		fmt.Println(line)
+	}
+	fmt.Println()
+	fmt.Println(res.Summary())
+	if res.Err != "" {
+		os.Exit(1)
+	}
 }
 
 // buildSchedule picks the fault script: an explicit file, seeded random

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// E23's table embeds the MAC session's event-log hash in its notes, so
+// byte-identical rendered tables across PHY worker-pool sizes prove the
+// whole chain — PHY exchange, LLR, sparing, bridge renegotiation, flow
+// sim — is deterministic regardless of parallelism.
+func TestE23DeterministicAcrossWorkers(t *testing.T) {
+	var want string
+	for _, w := range []int{1, 3, 0} {
+		tab, err := e23WithWorkers(5, w)
+		got := render(t, tab, err)
+		if want == "" {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("workers=%d table diverged:\n%s\nwant:\n%s", w, got, want)
+		}
+	}
+
+	// The table must actually tell the story: the MAC scenario
+	// renegotiated below full capacity yet stranded nobody, while the
+	// copper cut stalled flows.
+	lines := strings.Split(want, "\n")
+	var mosaic, copper string
+	for _, l := range lines {
+		if strings.Contains(l, "mosaic-aging(mac)") {
+			mosaic = l
+		}
+		if strings.Contains(l, "copper-link-down") {
+			copper = l
+		}
+	}
+	if mosaic == "" || copper == "" {
+		t.Fatalf("missing scenario rows:\n%s", want)
+	}
+	mf := strings.Fields(mosaic)
+	// scenario flows stalled renegs retx frac_end mean p99
+	if mf[2] != "0" {
+		t.Errorf("mosaic scenario stalled flows: %s", mosaic)
+	}
+	if mf[3] == "0" || mf[3] == "-" {
+		t.Errorf("mosaic scenario never renegotiated: %s", mosaic)
+	}
+	if mf[5] == "1.0000" {
+		t.Errorf("mosaic scenario ended at full capacity: %s", mosaic)
+	}
+	cf := strings.Fields(copper)
+	if cf[2] == "0" {
+		t.Errorf("copper link-down stranded no flows: %s", copper)
+	}
+	if !strings.Contains(want, "sha256[:8]=") {
+		t.Errorf("notes lost the mac event-log hash:\n%s", want)
+	}
+}

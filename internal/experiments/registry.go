@@ -168,6 +168,12 @@ func init() {
 			Gen:   E22SparingSoak,
 		},
 		{
+			ID:    "E23",
+			Title: "fleet aging under load: MAC renegotiation vs copper link-down (fat-tree k=8)",
+			Claim: "the MAC closes the loop: monitor transitions drive sparing and capacity renegotiation, so aging shaves lanes instead of stranding hosts",
+			Gen:   E23MACRenegotiation,
+		},
+		{
 			ID:    "A1",
 			Title: "ablation: oversampled core groups vs single-core mapping",
 			Claim: "design choice: a channel = a group of cores, so alignment is coarse",

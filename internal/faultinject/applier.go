@@ -1,0 +1,112 @@
+package faultinject
+
+import (
+	"math"
+
+	"mosaic/internal/phy"
+)
+
+// Applier replays a Schedule against a link one superframe boundary at a
+// time. It owns the in-flight state a schedule implies — aging ramps
+// climbing log-linearly toward their target and burst episodes waiting to
+// restore the pre-burst BER — so any superframe-driven harness (the soak
+// runner here, the MAC session in internal/mac) injects faults with
+// exactly the same semantics. Step is deterministic: the same schedule
+// and call sequence always mutates the link identically.
+type Applier struct {
+	link   *phy.Link
+	events []Event
+	next   int
+	ramps  []agingRamp
+	bursts []burst
+
+	// OnInject, when non-nil, is called for each event at the moment it
+	// is applied (before the link is touched). Harnesses use it to log
+	// and count injections.
+	OnInject func(e Event)
+}
+
+// agingRamp tracks one in-flight KindAging event.
+type agingRamp struct {
+	channel  int
+	startBER float64
+	target   float64
+	startSF  int
+	duration int
+}
+
+// burst tracks one in-flight KindBurst event.
+type burst struct {
+	channel  int
+	savedBER float64
+	endSF    int
+}
+
+// NewApplier prepares a schedule for replay against link. The schedule
+// must already be validated (events sorted by At).
+func NewApplier(link *phy.Link, s Schedule) *Applier {
+	return &Applier{link: link, events: s.Events}
+}
+
+// Step applies everything due at the boundary before superframe sf:
+// events with At <= sf are injected in order, then aging ramps advance
+// one step and expired bursts restore their saved BER. Call it once per
+// superframe with a monotonically increasing sf.
+func (a *Applier) Step(sf int) {
+	link := a.link
+	for a.next < len(a.events) && a.events[a.next].At <= sf {
+		e := a.events[a.next]
+		a.next++
+		if a.OnInject != nil {
+			a.OnInject(e)
+		}
+		switch e.Kind {
+		case KindKill:
+			link.KillChannel(e.Channel)
+		case KindCorrelated:
+			for c := e.Channel; c < e.Channel+e.Span; c++ {
+				link.KillChannel(c)
+			}
+		case KindAging:
+			start := link.ChannelBER(e.Channel)
+			if start < 1e-9 {
+				start = 1e-9
+			}
+			a.ramps = append(a.ramps, agingRamp{
+				channel: e.Channel, startBER: start, target: e.BER,
+				startSF: sf, duration: e.Duration,
+			})
+		case KindBurst:
+			a.bursts = append(a.bursts, burst{
+				channel: e.Channel, savedBER: link.ChannelBER(e.Channel),
+				endSF: sf + e.Duration,
+			})
+			link.SetChannelBER(e.Channel, e.BER)
+		}
+	}
+
+	// Aging ramps: log-linear BER climb toward the target, then hold.
+	live := a.ramps[:0]
+	for _, r := range a.ramps {
+		prog := float64(sf-r.startSF+1) / float64(r.duration)
+		if prog >= 1 {
+			link.SetChannelBER(r.channel, r.target)
+			continue // ramp complete; target holds
+		}
+		link.SetChannelBER(r.channel,
+			r.startBER*math.Pow(r.target/r.startBER, prog))
+		live = append(live, r)
+	}
+	a.ramps = live
+
+	// Bursts: restore the saved BER once the episode ends.
+	liveB := a.bursts[:0]
+	for _, b := range a.bursts {
+		if sf >= b.endSF {
+			a.link.SetChannelBER(b.channel, b.savedBER)
+			continue
+		}
+		liveB = append(liveB, b)
+	}
+	a.bursts = liveB
+}

@@ -3,7 +3,6 @@ package faultinject
 import (
 	"errors"
 	"fmt"
-	"math"
 	"math/rand"
 
 	"mosaic/internal/phy"
@@ -71,22 +70,6 @@ type Result struct {
 	// failure was absorbed by a spare. This is the pipeline-level
 	// equivalent of the k-of-n "at most s of n channels failed" event.
 	SurvivedFullWidth bool `json:"survived_full_width"`
-}
-
-// agingRamp tracks one in-flight KindAging event.
-type agingRamp struct {
-	channel  int
-	startBER float64
-	target   float64
-	startSF  int
-	duration int
-}
-
-// burst tracks one in-flight KindBurst event.
-type burst struct {
-	channel  int
-	savedBER float64
-	endSF    int
 }
 
 // Run executes the schedule against cfg.Link and returns the event log
@@ -178,10 +161,16 @@ func Run(cfg Config) (*Result, error) {
 	})
 	defer link.Monitor().SetTransitionHook(nil)
 
-	var ramps []agingRamp
-	var bursts []burst
+	// The Applier owns the schedule cursor plus aging-ramp and burst
+	// state; the soak only observes injections (log + counters).
+	applier := NewApplier(link, cfg.Schedule)
+	applier.OnInject = func(e Event) {
+		logf("inject %v", e)
+		if ctr := mInject[e.Kind]; ctr != nil {
+			ctr.Inc()
+		}
+	}
 	handled := make(map[int]bool) // physicals already spared out
-	next := 0                     // schedule cursor
 
 	spare := func(physical int) {
 		if handled[physical] {
@@ -197,61 +186,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	for sf = 0; sf < cfg.Superframes; sf++ {
-		// 1. Inject events due at this boundary.
-		for next < len(cfg.Schedule.Events) && cfg.Schedule.Events[next].At <= sf {
-			e := cfg.Schedule.Events[next]
-			next++
-			logf("inject %v", e)
-			if ctr := mInject[e.Kind]; ctr != nil {
-				ctr.Inc()
-			}
-			switch e.Kind {
-			case KindKill:
-				link.KillChannel(e.Channel)
-			case KindCorrelated:
-				for c := e.Channel; c < e.Channel+e.Span; c++ {
-					link.KillChannel(c)
-				}
-			case KindAging:
-				start := link.ChannelBER(e.Channel)
-				if start < 1e-9 {
-					start = 1e-9
-				}
-				ramps = append(ramps, agingRamp{
-					channel: e.Channel, startBER: start, target: e.BER,
-					startSF: sf, duration: e.Duration,
-				})
-			case KindBurst:
-				bursts = append(bursts, burst{
-					channel: e.Channel, savedBER: link.ChannelBER(e.Channel),
-					endSF: sf + e.Duration,
-				})
-				link.SetChannelBER(e.Channel, e.BER)
-			}
-		}
-
-		// 2. Step aging ramps (log-linear BER climb) and expire bursts.
-		live := ramps[:0]
-		for _, r := range ramps {
-			prog := float64(sf-r.startSF+1) / float64(r.duration)
-			if prog >= 1 {
-				link.SetChannelBER(r.channel, r.target)
-				continue // ramp complete; target holds
-			}
-			link.SetChannelBER(r.channel,
-				r.startBER*math.Pow(r.target/r.startBER, prog))
-			live = append(live, r)
-		}
-		ramps = live
-		liveB := bursts[:0]
-		for _, b := range bursts {
-			if sf >= b.endSF {
-				link.SetChannelBER(b.channel, b.savedBER)
-				continue
-			}
-			liveB = append(liveB, b)
-		}
-		bursts = liveB
+		// 1+2. Inject events due at this boundary, step aging ramps
+		// (log-linear BER climb), and expire bursts.
+		applier.Step(sf)
 
 		// 3. One superframe of traffic.
 		_, st, err := link.Exchange(frames)

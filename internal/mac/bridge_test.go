@@ -1,0 +1,119 @@
+package mac
+
+import (
+	"testing"
+
+	"mosaic/internal/phy"
+	"mosaic/internal/sim"
+)
+
+// recordingSink captures every capacity publication.
+type recordingSink struct {
+	calls []struct {
+		link int
+		frac float64
+	}
+}
+
+func (r *recordingSink) SetLinkCapacityFraction(link int, frac float64) {
+	r.calls = append(r.calls, struct {
+		link int
+		frac float64
+	}{link, frac})
+}
+
+func bridgeLink(t *testing.T, lanes, spares int) *phy.Link {
+	t.Helper()
+	link, err := phy.New(phy.Config{
+		Lanes:             lanes,
+		Spares:            spares,
+		FEC:               phy.NoFEC{},
+		UnitLen:           63,
+		PerChannelBitRate: 2e9,
+		Seed:              1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return link
+}
+
+// Failures absorbed by spares must not publish anything; once spares
+// run out, each lane loss publishes exactly one shrinking fraction.
+func TestBridgeSparesAbsorbThenDegrade(t *testing.T) {
+	link := bridgeLink(t, 10, 2)
+	eng := sim.NewEngine(1)
+	sink := &recordingSink{}
+	b := NewBridge(link, sink, 7, eng)
+	b.Install()
+
+	fail := func(ch int) {
+		eng.After(1e-6, func() { link.FailChannel(ch) })
+		eng.Run()
+	}
+
+	fail(0)
+	fail(1)
+	if len(sink.calls) != 0 {
+		t.Fatalf("spare-absorbed failures published capacity: %+v", sink.calls)
+	}
+	if b.Fraction() != 1 || b.Renegotiations() != 0 {
+		t.Fatalf("fraction=%v renegs=%d, want 1/0", b.Fraction(), b.Renegotiations())
+	}
+
+	fail(2) // spares exhausted: 9/10 lanes
+	fail(3) // 8/10
+	if len(sink.calls) != 2 {
+		t.Fatalf("published %d times, want 2: %+v", len(sink.calls), sink.calls)
+	}
+	if sink.calls[0].link != 7 || sink.calls[0].frac != 0.9 || sink.calls[1].frac != 0.8 {
+		t.Fatalf("wrong publications: %+v", sink.calls)
+	}
+	if b.Renegotiations() != 2 {
+		t.Fatalf("renegotiations = %d, want 2", b.Renegotiations())
+	}
+}
+
+// Simultaneous failures (same engine instant) coalesce into one
+// renegotiation at the settled fraction.
+func TestBridgeCoalescesSimultaneousFailures(t *testing.T) {
+	link := bridgeLink(t, 10, 0)
+	eng := sim.NewEngine(1)
+	sink := &recordingSink{}
+	b := NewBridge(link, sink, 0, eng)
+	b.Install()
+
+	eng.After(1e-6, func() {
+		link.FailChannel(0)
+		link.FailChannel(1)
+		link.FailChannel(2)
+	})
+	eng.Run()
+
+	if len(sink.calls) != 1 {
+		t.Fatalf("published %d times, want 1 coalesced: %+v", len(sink.calls), sink.calls)
+	}
+	if sink.calls[0].frac != 0.7 {
+		t.Fatalf("coalesced fraction = %v, want 0.7", sink.calls[0].frac)
+	}
+}
+
+// Installing the bridge must chain, not replace, an existing monitor
+// hook.
+func TestBridgeChainsExistingHook(t *testing.T) {
+	link := bridgeLink(t, 4, 0)
+	eng := sim.NewEngine(1)
+	var hookCalls int
+	link.Monitor().SetTransitionHook(func(int, phy.ChannelState, phy.ChannelState) { hookCalls++ })
+	b := NewBridge(link, &recordingSink{}, 0, eng)
+	b.Install()
+
+	eng.After(1e-6, func() { link.FailChannel(0) })
+	eng.Run()
+	if hookCalls == 0 {
+		t.Fatal("pre-existing transition hook was replaced, not chained")
+	}
+	if b.Renegotiations() != 1 {
+		t.Fatalf("renegotiations = %d, want 1", b.Renegotiations())
+	}
+}

@@ -1,0 +1,118 @@
+package mac
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"mosaic/internal/faultinject"
+	"mosaic/internal/sim"
+	"mosaic/internal/telemetry"
+)
+
+// The MAC session must be deterministic the same way the PHY pipeline
+// and the soak harness are: a fixed pair of link seeds, traffic seed,
+// and fault schedule produce a byte-identical event log and summary at
+// any worker count. The golden hash pins a scenario that exercises
+// injection, aging-driven retransmission, reactive sparing, spare
+// exhaustion, and bridge renegotiations.
+
+// goldenSessionSHA is sha256[:8] of the scenario's joined log + summary.
+const goldenSessionSHA = "d244b416557e06b0"
+
+// runGoldenSession executes the pinned scenario. reg may be nil; the
+// golden hash must not depend on it (telemetry is write-only).
+func runGoldenSession(t *testing.T, workers int, reg *telemetry.Registry) (string, *Result, *recordingSink) {
+	t.Helper()
+	fwd := testLink(t, 11, workers)
+	rev := testLink(t, 12, workers)
+	eng := sim.NewEngine(1)
+	sink := &recordingSink{}
+	bridge := NewBridge(fwd, sink, 3, eng)
+	sess, err := NewSession(SessionConfig{
+		Engine: eng,
+		Fwd:    fwd,
+		Rev:    rev,
+		Pair:   PairConfig{PHYFrameLen: 120},
+		Schedule: faultinject.Schedule{Events: []faultinject.Event{
+			{At: 5, Kind: faultinject.KindKill, Channel: 2},
+			{At: 10, Kind: faultinject.KindAging, Channel: 6, BER: 4e-3, Duration: 8},
+			{At: 22, Kind: faultinject.KindBurst, Channel: 9, BER: 5e-3, Duration: 4},
+			{At: 30, Kind: faultinject.KindCorrelated, Channel: 3, Span: 2},
+		}},
+		Superframes:  45,
+		Interval:     1e-5,
+		PacketsPerSF: 4,
+		PacketLen:    150,
+		Seed:         21,
+		Bridge:       bridge,
+		Metrics:      reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	res := sess.Result()
+	blob := strings.Join(res.Log, "\n") + "\n" + res.Summary()
+	h := sha256.Sum256([]byte(blob))
+	return hex.EncodeToString(h[:8]), res, sink
+}
+
+func TestSessionDeterminismAcrossWorkerCounts(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 4, runtime.NumCPU(), 0} {
+		t.Run(fmt.Sprintf("workers=%d", w), func(t *testing.T) {
+			sha, res, sink := runGoldenSession(t, w, nil)
+			if sha != goldenSessionSHA {
+				t.Errorf("event log hash = %s, want %s; log:\n%s\n%s",
+					sha, goldenSessionSHA, strings.Join(res.Log, "\n"), res.Summary())
+			}
+			// The hash pins everything; spot-check the shape so a drift
+			// failure reports something human-readable.
+			if res.Err != "" {
+				t.Errorf("session error: %s", res.Err)
+			}
+			if res.B.Delivered != res.A.PacketsQueued {
+				t.Errorf("delivered %d of %d queued", res.B.Delivered, res.A.PacketsQueued)
+			}
+			if res.A.Retransmits == 0 {
+				t.Errorf("aging scenario produced no retransmissions: %+v", res.A)
+			}
+			if res.Renegotiations == 0 || len(sink.calls) == 0 {
+				t.Errorf("spare exhaustion never renegotiated (%d, %d sink calls)",
+					res.Renegotiations, len(sink.calls))
+			}
+		})
+	}
+}
+
+// Two identical runs on fresh state must agree byte for byte — no
+// hidden globals.
+func TestSessionRerunIdentical(t *testing.T) {
+	a, _, _ := runGoldenSession(t, 4, nil)
+	b, _, _ := runGoldenSession(t, 4, nil)
+	if a != b {
+		t.Fatalf("re-run diverged: %s vs %s", a, b)
+	}
+}
+
+// Telemetry must be write-only: attaching a registry cannot change the
+// event log, and the registry must reflect what the log says happened.
+func TestSessionTelemetryPreservesLog(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	sha, res, _ := runGoldenSession(t, 2, reg)
+	if sha != goldenSessionSHA {
+		t.Fatalf("telemetry changed the event log: %s, want %s", sha, goldenSessionSHA)
+	}
+	if got := reg.Counter("mosaic_mac_retransmits_total", "endpoint", "a").Value(); got != res.A.Retransmits {
+		t.Errorf("retransmit counter = %d, want %d", got, res.A.Retransmits)
+	}
+	if got := reg.Counter("mosaic_mac_delivered_total", "endpoint", "b").Value(); got != res.B.Delivered {
+		t.Errorf("delivered counter = %d, want %d", got, res.B.Delivered)
+	}
+	if got := reg.Counter("mosaic_mac_renegotiations_total").Value(); got != res.Renegotiations {
+		t.Errorf("renegotiation counter = %d, want %d", got, res.Renegotiations)
+	}
+}

@@ -1,0 +1,163 @@
+package mac
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// collect runs the deframer over buf and returns deep copies of the
+// emitted frames (payloads alias buf, so tests that mutate buf copy).
+func collect(t *testing.T, d *Deframer, buf []byte) []Frame {
+	t.Helper()
+	var out []Frame
+	d.Deframe(buf, func(f Frame) {
+		f.Payload = append([]byte(nil), f.Payload...)
+		out = append(out, f)
+	})
+	return out
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var buf []byte
+	type sent struct {
+		flags    byte
+		seq, ack uint16
+		payload  []byte
+	}
+	var want []sent
+	for i := 0; i < 20; i++ {
+		p := make([]byte, rng.Intn(300))
+		rng.Read(p)
+		s := sent{FlagData | FlagAck, uint16(i), uint16(1000 + i), p}
+		want = append(want, s)
+		buf = AppendFrame(buf, s.flags, s.seq, s.ack, s.payload)
+		// Random idle fill between frames.
+		for j := rng.Intn(10); j > 0; j-- {
+			buf = append(buf, IdleByte)
+		}
+	}
+
+	var d Deframer
+	got := collect(t, &d, buf)
+	if len(got) != len(want) {
+		t.Fatalf("deframed %d frames, want %d", len(got), len(want))
+	}
+	for i, f := range got {
+		w := want[i]
+		if f.Flags != w.flags || f.Seq != w.seq || f.Ack != w.ack || !bytes.Equal(f.Payload, w.payload) {
+			t.Fatalf("frame %d mismatch: got {%x %d %d %dB}", i, f.Flags, f.Seq, f.Ack, len(f.Payload))
+		}
+	}
+	if d.Stats.CRCRejects != 0 || d.Stats.SkippedBytes != 0 {
+		t.Fatalf("clean stream produced rejects: %+v", d.Stats)
+	}
+}
+
+func TestDeframeEmptyPayload(t *testing.T) {
+	buf := AppendFrame(nil, FlagAck, 0, 7, nil)
+	var d Deframer
+	got := collect(t, &d, buf)
+	if len(got) != 1 || got[0].Ack != 7 || len(got[0].Payload) != 0 {
+		t.Fatalf("pure ack did not round-trip: %+v", got)
+	}
+}
+
+// A bit flip anywhere in one frame must reject exactly that frame and
+// recover every later one.
+func TestDeframeResyncsAfterCorruption(t *testing.T) {
+	payload := []byte("hello mosaic")
+	var buf []byte
+	for i := 0; i < 5; i++ {
+		buf = AppendFrame(buf, FlagData, uint16(i), 0, payload)
+	}
+	frameLen := Overhead + len(payload)
+
+	for off := 0; off < frameLen; off++ {
+		mut := append([]byte(nil), buf...)
+		mut[2*frameLen+off] ^= 0xFF // corrupt frame 2
+		var d Deframer
+		got := collect(t, &d, mut)
+		if len(got) < 4 {
+			t.Fatalf("offset %d: recovered %d frames, want >= 4", off, len(got))
+		}
+		// Frames 0, 1, 3, 4 must always survive in order.
+		seqs := map[uint16]bool{}
+		for _, f := range got {
+			seqs[f.Seq] = true
+		}
+		for _, s := range []uint16{0, 1, 3, 4} {
+			if !seqs[s] {
+				t.Fatalf("offset %d: frame seq=%d lost; stats %+v", off, s, d.Stats)
+			}
+		}
+	}
+}
+
+// Removing a chunk from the middle (a lost PHY frame splicing the
+// stream) must still recover the frames on both sides of the cut.
+func TestDeframeResyncsAfterSplice(t *testing.T) {
+	payload := make([]byte, 100)
+	rand.New(rand.NewSource(2)).Read(payload)
+	var buf []byte
+	for i := 0; i < 6; i++ {
+		buf = AppendFrame(buf, FlagData, uint16(i), 0, payload)
+	}
+	// Cut 150 bytes straddling frames 2 and 3.
+	cutAt := 2*(Overhead+100) + 50
+	spliced := append(append([]byte(nil), buf[:cutAt]...), buf[cutAt+150:]...)
+
+	var d Deframer
+	got := collect(t, &d, spliced)
+	seqs := map[uint16]bool{}
+	for _, f := range got {
+		seqs[f.Seq] = true
+	}
+	for _, s := range []uint16{0, 1, 4, 5} {
+		if !seqs[s] {
+			t.Fatalf("frame seq=%d lost after splice; got %v, stats %+v", s, seqs, d.Stats)
+		}
+	}
+	if seqs[2] || seqs[3] {
+		t.Fatalf("frames inside the cut were 'recovered': %v", seqs)
+	}
+}
+
+func TestDeframeHeaderReject(t *testing.T) {
+	// Valid magic, absurd length: must be header-rejected, and the valid
+	// frame after it must still decode.
+	buf := []byte{Magic0, Magic1, 0, 0, 0, 0, 0, 0xFF, 0xFF}
+	buf = append(buf, make([]byte, 8)...)
+	buf = AppendFrame(buf, FlagData, 42, 0, []byte("ok"))
+	var d Deframer
+	got := collect(t, &d, buf)
+	if len(got) != 1 || got[0].Seq != 42 {
+		t.Fatalf("got %+v, want the one valid frame", got)
+	}
+	if d.Stats.HeaderRejects == 0 {
+		t.Fatalf("expected a header reject: %+v", d.Stats)
+	}
+}
+
+func TestDeframeTruncatedTail(t *testing.T) {
+	buf := AppendFrame(nil, FlagData, 1, 0, []byte("full frame"))
+	whole := AppendFrame(nil, FlagData, 2, 0, []byte("cut off"))
+	buf = append(buf, whole[:len(whole)-3]...) // drop last 3 bytes
+	var d Deframer
+	got := collect(t, &d, buf)
+	if len(got) != 1 || got[0].Seq != 1 {
+		t.Fatalf("got %+v, want only the complete frame", got)
+	}
+}
+
+func TestDeframeIdleOnly(t *testing.T) {
+	var d Deframer
+	got := collect(t, &d, make([]byte, 500))
+	if len(got) != 0 {
+		t.Fatalf("idle fill produced frames: %+v", got)
+	}
+	if d.Stats.IdleBytes != 500 {
+		t.Fatalf("idle bytes = %d, want 500", d.Stats.IdleBytes)
+	}
+}

@@ -1,0 +1,297 @@
+package mac
+
+import "fmt"
+
+// LLR defaults; see Config.
+const (
+	DefaultWindow      = 64
+	DefaultRetxTimeout = 3
+)
+
+// Config parameterizes one LLR endpoint.
+type Config struct {
+	// Window is the go-back-N window: the replay ring holds at most this
+	// many unacked frames (0 = DefaultWindow). When the ring is full,
+	// new sends stall (counted as credit stalls) until acks drain it.
+	Window int
+
+	// RetxTimeout is how many superframes an unacked frame waits before
+	// the whole window is retransmitted (0 = DefaultRetxTimeout).
+	RetxTimeout int
+
+	// MaxPayload bounds a single packet's size (0 = DefaultMaxPayload).
+	MaxPayload int
+
+	// PayloadBudget is the exact superframe payload size in bytes that
+	// BuildSuperframe produces, idle-filled when there is nothing to
+	// send. Required; must hold at least one max-size frame.
+	PayloadBudget int
+}
+
+func (c *Config) withDefaults() (Config, error) {
+	out := *c
+	if out.Window <= 0 {
+		out.Window = DefaultWindow
+	}
+	if out.Window > 1<<14 {
+		// seq arithmetic uses int16 wraparound distance; keep the window
+		// far below half the sequence space.
+		return out, fmt.Errorf("mac: Window %d exceeds 1<<14", out.Window)
+	}
+	if out.RetxTimeout <= 0 {
+		out.RetxTimeout = DefaultRetxTimeout
+	}
+	if out.MaxPayload <= 0 {
+		out.MaxPayload = DefaultMaxPayload
+	}
+	if out.MaxPayload > 1<<16-1 {
+		return out, fmt.Errorf("mac: MaxPayload %d exceeds u16 length field", out.MaxPayload)
+	}
+	if out.PayloadBudget < out.MaxPayload+Overhead {
+		return out, fmt.Errorf("mac: PayloadBudget %d cannot hold one max frame (%d)",
+			out.PayloadBudget, out.MaxPayload+Overhead)
+	}
+	return out, nil
+}
+
+// Stats is the endpoint's cumulative view. Counters only grow;
+// InFlight/QueueDepth are point-in-time gauges.
+type Stats struct {
+	PacketsQueued uint64 // Send calls accepted
+	DataTx        uint64 // data frames emitted (first transmissions)
+	Retransmits   uint64 // data frames re-emitted by go-back-N
+	AcksTx        uint64 // pure-ack frames emitted (piggybacks not counted)
+	DataRx        uint64 // data frames received intact
+	Delivered     uint64 // packets delivered in order to the client
+	Duplicates    uint64 // already-delivered seqs discarded
+	OutOfOrder    uint64 // ahead-of-window seqs discarded (go-back-N)
+	AcksRx        uint64 // frames carrying an ack field that advanced or held
+	CreditStalls  uint64 // superframes where queued data waited on a full window
+	Timeouts      uint64 // retransmit timeouts fired
+
+	InFlight   int // unacked frames in the replay ring
+	QueueDepth int // packets waiting to enter the window
+
+	Deframe DeframeStats // receive-side scanner counters
+}
+
+// txSlot is one replay-ring entry: an unacked payload copy plus the
+// superframe tick it was last (re)transmitted at.
+type txSlot struct {
+	buf      []byte
+	sentTick uint64
+}
+
+// Endpoint is one side of an LLR link. It is single-goroutine like the
+// rest of the simulator: the harness alternates BuildSuperframe (tx) and
+// Accept (rx) once per superframe. All buffers are reused across ticks —
+// the steady-state hot path performs no allocations.
+type Endpoint struct {
+	cfg Config
+
+	// Transmit side.
+	queue   [][]byte // packets waiting for window credit (owned copies)
+	freeBuf [][]byte // retired packet buffers, reused by Send
+	ring    []txSlot // replay ring; slot k holds seq base+k
+	head    int      // ring index of seq `base`
+	ringLen int      // occupied slots
+	base    uint16   // oldest unacked sequence number
+	nextSeq uint16   // next fresh sequence number (= base+ringLen)
+	txBuf   []byte   // superframe payload under construction
+
+	// Receive side.
+	rxBuf      []byte // concatenated PHY payloads for the deframer
+	rxExpected uint16 // next in-order sequence number
+	ackDirty   bool   // rx state changed since the last ack we sent
+	deframer   Deframer
+	emit       func(Frame) // bound handleFrame, constructed once
+	onDeliver  func([]byte)
+
+	tick  uint64
+	stats Stats
+}
+
+// NewEndpoint builds an endpoint. onDeliver receives each in-order
+// packet payload exactly once; the slice aliases internal buffers and
+// must not be retained. onDeliver may be nil (delivery still counted).
+func NewEndpoint(cfg Config, onDeliver func([]byte)) (*Endpoint, error) {
+	full, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	e := &Endpoint{
+		cfg:       full,
+		ring:      make([]txSlot, full.Window),
+		txBuf:     make([]byte, 0, full.PayloadBudget),
+		onDeliver: onDeliver,
+	}
+	e.deframer.MaxPayload = full.MaxPayload
+	e.emit = e.handleFrame
+	return e, nil
+}
+
+// Send queues one packet for reliable delivery. The payload is copied.
+func (e *Endpoint) Send(payload []byte) error {
+	if len(payload) > e.cfg.MaxPayload {
+		return fmt.Errorf("mac: packet %dB exceeds MaxPayload %d", len(payload), e.cfg.MaxPayload)
+	}
+	var buf []byte
+	if n := len(e.freeBuf); n > 0 {
+		buf = e.freeBuf[n-1][:0]
+		e.freeBuf = e.freeBuf[:n-1]
+	}
+	e.queue = append(e.queue, append(buf, payload...))
+	e.stats.PacketsQueued++
+	return nil
+}
+
+// idlePad is the shared idle-fill source; appended in chunks so filling
+// a mostly-empty superframe is a few copies, not a byte loop.
+var idlePad [256]byte
+
+// BuildSuperframe advances the endpoint one superframe tick and returns
+// the payload to hand to the PHY: retransmissions first (if the oldest
+// unacked frame timed out, the whole window resends — go-back-N), then
+// fresh data while window credit and budget allow, then a pure-ack frame
+// if receive state changed and no data frame carried it, then idle fill
+// to exactly PayloadBudget bytes. The returned slice is reused by the
+// next call.
+func (e *Endpoint) BuildSuperframe() []byte {
+	e.tick++
+	out := e.txBuf[:0]
+	budget := e.cfg.PayloadBudget
+	ackSent := false
+
+	// Go-back-N retransmission: when the oldest in-flight frame has
+	// waited RetxTimeout ticks, resend the window in order (as much as
+	// fits this superframe; the rest ages and refires).
+	if e.ringLen > 0 &&
+		e.tick-e.ring[e.head].sentTick >= uint64(e.cfg.RetxTimeout) {
+		e.stats.Timeouts++
+		for k := 0; k < e.ringLen; k++ {
+			slot := &e.ring[(e.head+k)%len(e.ring)]
+			if len(out)+Overhead+len(slot.buf) > budget {
+				break
+			}
+			out = AppendFrame(out, FlagData|FlagAck, e.base+uint16(k), e.rxExpected, slot.buf)
+			slot.sentTick = e.tick
+			e.stats.Retransmits++
+			ackSent = true
+		}
+	}
+
+	// Fresh data while the window and the budget have room.
+	for len(e.queue) > 0 && e.ringLen < len(e.ring) {
+		p := e.queue[0]
+		if len(out)+Overhead+len(p) > budget {
+			break
+		}
+		slot := &e.ring[(e.head+e.ringLen)%len(e.ring)]
+		slot.buf = append(slot.buf[:0], p...)
+		slot.sentTick = e.tick
+		e.ringLen++
+		out = AppendFrame(out, FlagData|FlagAck, e.nextSeq, e.rxExpected, slot.buf)
+		e.nextSeq++
+		e.stats.DataTx++
+		ackSent = true
+		e.freeBuf = append(e.freeBuf, p)
+		copy(e.queue, e.queue[1:])
+		e.queue = e.queue[:len(e.queue)-1]
+	}
+	if len(e.queue) > 0 && e.ringLen == len(e.ring) {
+		e.stats.CreditStalls++
+	}
+
+	// Pure ack when rx state moved and nothing piggybacked it.
+	if e.ackDirty && !ackSent {
+		out = AppendFrame(out, FlagAck, 0, e.rxExpected, nil)
+		e.stats.AcksTx++
+		ackSent = true
+	}
+	if ackSent {
+		e.ackDirty = false
+	}
+
+	// Idle fill to the fixed budget.
+	for len(out) < budget {
+		n := budget - len(out)
+		if n > len(idlePad) {
+			n = len(idlePad)
+		}
+		out = append(out, idlePad[:n]...)
+	}
+
+	e.stats.InFlight = e.ringLen
+	e.stats.QueueDepth = len(e.queue)
+	e.txBuf = out
+	return out
+}
+
+// Accept ingests the PHY-delivered chunks of the peer's superframe (in
+// order; corrupted or lost chunks simply absent) and runs the deframer
+// over the concatenation. Valid frames update ack state and deliver
+// in-order payloads.
+func (e *Endpoint) Accept(chunks [][]byte) {
+	rx := e.rxBuf[:0]
+	for _, c := range chunks {
+		rx = append(rx, c...)
+	}
+	e.rxBuf = rx
+	e.deframer.Deframe(rx, e.emit)
+	e.stats.Deframe = e.deframer.Stats
+	e.stats.InFlight = e.ringLen
+	e.stats.QueueDepth = len(e.queue)
+}
+
+func (e *Endpoint) handleFrame(f Frame) {
+	if f.Flags&FlagAck != 0 {
+		e.handleAck(f.Ack)
+	}
+	if f.Flags&FlagData == 0 {
+		return
+	}
+	e.stats.DataRx++
+	switch d := int16(f.Seq - e.rxExpected); {
+	case d == 0:
+		e.stats.Delivered++
+		if e.onDeliver != nil {
+			e.onDeliver(f.Payload)
+		}
+		e.rxExpected++
+		e.ackDirty = true
+	case d < 0:
+		// Already delivered (the ack must have been lost); re-ack.
+		e.stats.Duplicates++
+		e.ackDirty = true
+	default:
+		// A gap: go-back-N receivers hold no reorder buffer, so frames
+		// ahead of the expected seq are dropped and re-acked; the sender
+		// times out and replays from the gap.
+		e.stats.OutOfOrder++
+		e.ackDirty = true
+	}
+}
+
+// handleAck applies a cumulative ack: the peer's next expected sequence
+// number releases every replay slot strictly before it. Stale or
+// implausible acks (outside the in-flight range — possible only via
+// an undetected CRC collision) are ignored.
+func (e *Endpoint) handleAck(ack uint16) {
+	adv := int(int16(ack - e.base))
+	if adv < 0 || adv > e.ringLen {
+		return
+	}
+	e.stats.AcksRx++
+	e.head = (e.head + adv) % len(e.ring)
+	e.ringLen -= adv
+	e.base = ack
+}
+
+// Stats returns a snapshot of the endpoint's counters and gauges.
+func (e *Endpoint) Stats() Stats {
+	s := e.stats
+	s.InFlight = e.ringLen
+	s.QueueDepth = len(e.queue)
+	s.Deframe = e.deframer.Stats
+	return s
+}

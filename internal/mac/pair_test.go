@@ -1,0 +1,124 @@
+package mac
+
+import (
+	"fmt"
+	"testing"
+
+	"mosaic/internal/phy"
+)
+
+func testLink(t *testing.T, seed int64, workers int) *phy.Link {
+	t.Helper()
+	link, err := phy.New(phy.Config{
+		Lanes:             12,
+		Spares:            2,
+		FEC:               phy.NewRSLite(),
+		UnitLen:           63,
+		PerChannelBitRate: 2e9,
+		Seed:              seed,
+		Workers:           workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return link
+}
+
+// Over a clean PHY, every packet crosses the real pipeline (encode,
+// stripe, destripe, parse) and arrives exactly once, in order.
+func TestPairDeliversOverPHY(t *testing.T) {
+	fwd := testLink(t, 3, 0)
+	rev := testLink(t, 4, 0)
+	var got []string
+	pair, err := NewPair(fwd, rev, PairConfig{
+		PHYFrameLen: 120,
+		Endpoint:    Config{Window: 16, MaxPayload: 200, PayloadBudget: 3000},
+	}, nil, func(p []byte) { got = append(got, string(p)) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent := 0
+	for tick := 0; tick < 20; tick++ {
+		for k := 0; k < 4 && sent < 50; k++ {
+			if err := pair.A.Send([]byte(fmt.Sprintf("pkt-%03d", sent))); err != nil {
+				t.Fatal(err)
+			}
+			sent++
+		}
+		if err := pair.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != sent {
+		t.Fatalf("delivered %d/%d; b=%+v", len(got), sent, pair.B.Stats())
+	}
+	for i, p := range got {
+		if want := fmt.Sprintf("pkt-%03d", i); p != want {
+			t.Fatalf("slot %d = %q, want %q", i, p, want)
+		}
+	}
+}
+
+// With a channel forced to a brutal BER, PHY frames die, MAC frames
+// splice, and the LLR must still deliver everything in order.
+func TestPairRecoversOverLossyPHY(t *testing.T) {
+	fwd := testLink(t, 5, 0)
+	rev := testLink(t, 6, 0)
+	fwd.SetChannelBER(3, 4e-3) // ~2 symbol errors per RS-lite block: units fail probabilistically
+	var got []string
+	pair, err := NewPair(fwd, rev, PairConfig{
+		PHYFrameLen: 120,
+		Endpoint:    Config{Window: 32, RetxTimeout: 2, MaxPayload: 200, PayloadBudget: 3000},
+	}, nil, func(p []byte) { got = append(got, string(p)) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Packets near MaxPayload so the data region spans the whole budget
+	// (striping is deterministic: a superframe that is mostly idle fill
+	// would place every data byte on the same healthy lanes every tick).
+	mkpkt := func(i int) []byte {
+		p := make([]byte, 200)
+		copy(p, fmt.Sprintf("pkt-%03d", i))
+		return p
+	}
+	sent := 0
+	for tick := 0; tick < 120; tick++ {
+		for k := 0; k < 6 && sent < 60; k++ {
+			if err := pair.A.Send(mkpkt(sent)); err != nil {
+				t.Fatal(err)
+			}
+			sent++
+		}
+		if err := pair.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != sent {
+		t.Fatalf("delivered %d/%d; a=%+v b=%+v", len(got), sent, pair.A.Stats(), pair.B.Stats())
+	}
+	for i, p := range got {
+		if want := fmt.Sprintf("pkt-%03d", i); p[:len(want)] != want {
+			t.Fatalf("slot %d = %q, want prefix %q", i, p[:8], want)
+		}
+	}
+	if pair.A.Stats().Retransmits == 0 {
+		t.Fatalf("lossy run never retransmitted: %+v", pair.A.Stats())
+	}
+}
+
+// The budget must round up to whole PHY frames so no chunk is below the
+// PHY's 3-byte minimum.
+func TestPairRoundsBudgetToPHYFrames(t *testing.T) {
+	fwd := testLink(t, 7, 0)
+	rev := testLink(t, 8, 0)
+	pair, err := NewPair(fwd, rev, PairConfig{
+		PHYFrameLen: 100,
+		Endpoint:    Config{MaxPayload: 64, PayloadBudget: 250},
+	}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(pair.A.BuildSuperframe()); got != 300 {
+		t.Fatalf("budget = %d, want 300 (rounded to PHY frames)", got)
+	}
+}

@@ -1,0 +1,304 @@
+package mac
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"mosaic/internal/faultinject"
+	"mosaic/internal/phy"
+	"mosaic/internal/sim"
+	"mosaic/internal/telemetry"
+)
+
+// SessionConfig describes one engine-driven MAC session: a full-duplex
+// pair, client traffic A->B, and a fault schedule replayed against the
+// forward link.
+type SessionConfig struct {
+	Engine *sim.Engine // required; the caller runs it
+	Fwd    *phy.Link   // required; carries data, receives the faults
+	Rev    *phy.Link   // required; carries acks back
+
+	Pair PairConfig // endpoint/framing knobs; PayloadBudget 0 = derived
+
+	// Schedule is replayed against Fwd with faultinject semantics
+	// (kill/aging/burst/correlated, superframe-indexed).
+	Schedule faultinject.Schedule
+
+	Superframes  int      // ticks to run (required > 0)
+	Interval     sim.Time // simulated time between ticks (required > 0)
+	PacketsPerSF int      // client packets queued at A per tick (required > 0)
+	PacketLen    int      // bytes per client packet (required > 0)
+	Seed         int64    // client payload seed
+
+	// Bridge, when non-nil, is Installed on Fwd's monitor before the
+	// first tick; its renegotiations land in the event log.
+	Bridge *Bridge
+
+	// Metrics, when non-nil, receives MAC endpoint metrics ("a", "b"),
+	// the full per-link set for Fwd, and bridge renegotiation state, all
+	// pushed at tick boundaries. Write-only: enabling it cannot change
+	// the event log.
+	Metrics *telemetry.Registry
+
+	// MaxLog caps the event log (0 = 100000).
+	MaxLog int
+}
+
+// Session is an in-flight MAC run. Construct with NewSession, then run
+// the engine; Result is valid once the engine drains.
+type Session struct {
+	cfg     SessionConfig
+	pair    *Pair
+	applier *faultinject.Applier
+	packets [][]byte
+	handled map[int]bool
+
+	col     *telemetry.MACCollector
+	linkCol *telemetry.LinkCollector
+
+	sf         int
+	lanesStart int
+	degraded   bool
+	exhausted  bool
+	prevRetx   uint64
+	err        error
+
+	log    []string
+	maxLog int
+}
+
+// Result summarizes a finished session.
+type Result struct {
+	Log []string `json:"log"`
+
+	Superframes int    `json:"superframes"`
+	Err         string `json:"err,omitempty"`
+
+	A Stats `json:"a"` // sender-side endpoint
+	B Stats `json:"b"` // receiver-side endpoint
+
+	LanesStart     int     `json:"lanes_start"`
+	LanesEnd       int     `json:"lanes_end"`
+	SparesEnd      int     `json:"spares_end"`
+	Renegotiations uint64  `json:"renegotiations"`
+	Fraction       float64 `json:"fraction"`
+}
+
+// NewSession validates cfg, wires the pair, applier, monitor hook, and
+// optional bridge/telemetry, and schedules the first tick on the
+// engine at Now()+Interval. Run the engine to completion afterwards.
+func NewSession(cfg SessionConfig) (*Session, error) {
+	if cfg.Engine == nil || cfg.Fwd == nil || cfg.Rev == nil {
+		return nil, errors.New("mac: SessionConfig needs Engine, Fwd, Rev")
+	}
+	if cfg.Superframes <= 0 || cfg.Interval <= 0 {
+		return nil, errors.New("mac: need Superframes > 0 and Interval > 0")
+	}
+	if cfg.PacketsPerSF <= 0 || cfg.PacketLen <= 0 {
+		return nil, errors.New("mac: need PacketsPerSF > 0 and PacketLen > 0")
+	}
+	if err := cfg.Schedule.Validate(); err != nil {
+		return nil, err
+	}
+	pc := cfg.Pair
+	if pc.Endpoint.MaxPayload <= 0 {
+		pc.Endpoint.MaxPayload = cfg.PacketLen
+	}
+	if pc.Endpoint.Window <= 0 {
+		w := 4 * cfg.PacketsPerSF
+		if w < DefaultWindow {
+			w = DefaultWindow
+		}
+		pc.Endpoint.Window = w
+	}
+	if pc.Endpoint.PayloadBudget <= 0 {
+		// Room for one tick of fresh data plus a full retransmission
+		// round plus a pure ack.
+		pc.Endpoint.PayloadBudget = (2*cfg.PacketsPerSF + 1) * (cfg.PacketLen + Overhead)
+	}
+
+	s := &Session{
+		cfg:        cfg,
+		handled:    make(map[int]bool),
+		lanesStart: cfg.Fwd.Mapper().NumLanes(),
+		maxLog:     cfg.MaxLog,
+	}
+	if s.maxLog <= 0 {
+		s.maxLog = 100000
+	}
+
+	pair, err := NewPair(cfg.Fwd, cfg.Rev, pc, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	s.pair = pair
+
+	// Fixed client traffic, regenerated from the seed (the same packets
+	// every tick, like the soak harness).
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s.packets = make([][]byte, cfg.PacketsPerSF)
+	for i := range s.packets {
+		s.packets[i] = make([]byte, cfg.PacketLen)
+		rng.Read(s.packets[i])
+	}
+
+	s.applier = faultinject.NewApplier(cfg.Fwd, cfg.Schedule)
+	s.applier.OnInject = func(e faultinject.Event) {
+		s.logf("inject %v", e)
+	}
+
+	if cfg.Metrics != nil {
+		s.col = telemetry.NewMACCollector(cfg.Metrics)
+		s.linkCol = telemetry.NewLinkCollector(cfg.Metrics, cfg.Fwd)
+	}
+
+	// Health transitions land in the log as they happen. The bridge (if
+	// any) chains onto this hook, so install ours first.
+	cfg.Fwd.Monitor().SetTransitionHook(func(physical int, from, to phy.ChannelState) {
+		s.logf("sf=%d transition ch=%d %v->%v", s.sf, physical, from, to)
+		if s.linkCol != nil {
+			s.linkCol.OnTransition(physical, from, to)
+		}
+	})
+	if cfg.Bridge != nil {
+		cfg.Bridge.Install()
+		if cfg.Bridge.OnRenegotiate == nil {
+			cfg.Bridge.OnRenegotiate = func(at sim.Time, lanes int, frac float64) {
+				s.logf("sf=%d renegotiate t=%v lanes=%d frac=%.4f", s.sf, at, lanes, frac)
+			}
+		}
+	}
+
+	cfg.Engine.After(cfg.Interval, s.tick)
+	return s, nil
+}
+
+func (s *Session) logf(format string, args ...any) {
+	if len(s.log) < s.maxLog {
+		s.log = append(s.log, fmt.Sprintf(format, args...))
+	}
+}
+
+// tick runs one superframe: inject faults, queue client packets, move
+// the pair one round trip, spare out failed channels, then log
+// milestones and push telemetry. Bridge syncs scheduled by the monitor
+// hook run after this callback returns (same simulated instant), so
+// they observe the post-remap lane count.
+func (s *Session) tick() {
+	s.applier.Step(s.sf)
+
+	for _, p := range s.packets {
+		if err := s.pair.A.Send(p); err != nil {
+			s.err = err
+			s.logf("sf=%d send error: %v", s.sf, err)
+			return
+		}
+	}
+	if err := s.pair.Tick(); err != nil {
+		s.err = err
+		s.logf("sf=%d exchange error: %v", s.sf, err)
+		return
+	}
+
+	// Reactive sparing: monitor-failed channels on the forward link are
+	// remapped at the boundary (the bridge hook has already scheduled a
+	// renegotiation sync for this instant).
+	for _, p := range s.cfg.Fwd.Monitor().FailedChannels() {
+		if s.handled[p] {
+			continue
+		}
+		s.handled[p] = true
+		ev := s.cfg.Fwd.FailChannel(p)
+		s.logf("sf=%d remap %v", s.sf, ev)
+	}
+
+	// Retransmission activity (the LLR doing its job) is log-worthy.
+	if retx := s.pair.A.Stats().Retransmits; retx > s.prevRetx {
+		s.logf("sf=%d retx +%d (total=%d inflight=%d)",
+			s.sf, retx-s.prevRetx, retx, s.pair.A.Stats().InFlight)
+		s.prevRetx = retx
+	}
+
+	// Milestones.
+	if !s.degraded && s.cfg.Fwd.Mapper().NumLanes() < s.lanesStart {
+		s.degraded = true
+		s.logf("sf=%d degraded lanes=%d/%d", s.sf, s.cfg.Fwd.Mapper().NumLanes(), s.lanesStart)
+	}
+	if !s.exhausted && s.cfg.Fwd.Mapper().SparesLeft() == 0 {
+		s.exhausted = true
+		s.logf("sf=%d spares-exhausted", s.sf)
+	}
+
+	if s.col != nil {
+		s.col.Sync("a", s.pair.A.Stats().Export())
+		s.col.Sync("b", s.pair.B.Stats().Export())
+		if s.cfg.Bridge != nil {
+			s.col.SyncBridge(s.cfg.Bridge.Renegotiations(), s.cfg.Bridge.Fraction())
+		}
+		s.linkCol.ObserveExchange(s.pair.FwdStats)
+		s.linkCol.Sync()
+	}
+
+	s.sf++
+	if s.sf < s.cfg.Superframes {
+		s.cfg.Engine.After(s.cfg.Interval, s.tick)
+	}
+}
+
+// Result snapshots the session after the engine has drained.
+func (s *Session) Result() *Result {
+	r := &Result{
+		Log:         s.log,
+		Superframes: s.sf,
+		A:           s.pair.A.Stats(),
+		B:           s.pair.B.Stats(),
+		LanesStart:  s.lanesStart,
+		LanesEnd:    s.cfg.Fwd.Mapper().NumLanes(),
+		SparesEnd:   s.cfg.Fwd.Mapper().SparesLeft(),
+		Fraction:    1,
+	}
+	if s.err != nil {
+		r.Err = s.err.Error()
+	}
+	if s.cfg.Bridge != nil {
+		r.Renegotiations = s.cfg.Bridge.Renegotiations()
+		r.Fraction = s.cfg.Bridge.Fraction()
+	}
+	return r
+}
+
+// Summary renders the aggregate counters as a short multi-line report.
+func (r *Result) Summary() string {
+	return fmt.Sprintf(
+		"superframes=%d delivered=%d/%d queued (dups=%d ooo=%d)\n"+
+			"retx=%d timeouts=%d stalls=%d pure_acks=%d crc_rejects=%d resync_bytes=%d\n"+
+			"lanes=%d->%d spares_left=%d renegotiations=%d fraction=%.4f",
+		r.Superframes, r.B.Delivered, r.A.PacketsQueued, r.B.Duplicates, r.B.OutOfOrder,
+		r.A.Retransmits, r.A.Timeouts, r.A.CreditStalls, r.B.AcksTx+r.A.AcksTx,
+		r.B.Deframe.CRCRejects, r.B.Deframe.SkippedBytes,
+		r.LanesStart, r.LanesEnd, r.SparesEnd, r.Renegotiations, r.Fraction)
+}
+
+// Export converts the endpoint stats into the neutral telemetry shape.
+func (s Stats) Export() telemetry.MACStats {
+	return telemetry.MACStats{
+		PacketsQueued: s.PacketsQueued,
+		DataTx:        s.DataTx,
+		Retransmits:   s.Retransmits,
+		AcksTx:        s.AcksTx,
+		DataRx:        s.DataRx,
+		Delivered:     s.Delivered,
+		Duplicates:    s.Duplicates,
+		OutOfOrder:    s.OutOfOrder,
+		AcksRx:        s.AcksRx,
+		CreditStalls:  s.CreditStalls,
+		Timeouts:      s.Timeouts,
+		InFlight:      s.InFlight,
+		QueueDepth:    s.QueueDepth,
+		DeframeFrames: s.Deframe.Frames,
+		CRCRejects:    s.Deframe.CRCRejects,
+		HeaderRejects: s.Deframe.HeaderRejects,
+		SkippedBytes:  s.Deframe.SkippedBytes,
+	}
+}

@@ -124,13 +124,19 @@ func (fs *FlowSim) routeAvoidingDead(src, dst int, hash uint64) ([]int, error) {
 
 // SetLinkCapacityFraction scales a link to frac of its nominal rate
 // (graceful degradation: a Mosaic link that lost channels). frac=0 kills
-// the link and reroutes affected flows.
+// the link and reroutes affected flows. frac is clamped to [0, 1]: a
+// degraded link can never exceed its nominal rate (RestoreLink is the
+// ceiling), and NaN is treated as link-down rather than poisoning the
+// max-min waterfill.
 func (fs *FlowSim) SetLinkCapacityFraction(linkID int, frac float64) {
 	if linkID < 0 || linkID >= len(fs.capacity) {
 		return
 	}
-	if frac < 0 {
+	if frac < 0 || frac != frac {
 		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
 	}
 	fs.capacity[linkID] = fs.Topo.Links[linkID].RateBps * frac
 	if frac == 0 {

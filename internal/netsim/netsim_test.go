@@ -382,6 +382,38 @@ func TestRestoreLink(t *testing.T) {
 	}
 }
 
+// The fraction is clamped to [0, 1]: a renegotiation can never push a
+// link above its nominal rate, and garbage inputs degrade to link-down
+// rather than corrupting the waterfill.
+func TestSetLinkCapacityFractionBounds(t *testing.T) {
+	topo := mustTree(t, 4)
+	nominal := topo.Links[0].RateBps
+	cases := []struct {
+		name string
+		frac float64
+		want float64
+	}{
+		{"zero", 0, 0},
+		{"half", 0.5, nominal * 0.5},
+		{"full", 1, nominal},
+		{"above-one", 1.5, nominal},
+		{"huge", 1e12, nominal},
+		{"negative", -0.25, 0},
+		{"neg-inf", math.Inf(-1), 0},
+		{"pos-inf", math.Inf(1), nominal},
+		{"nan", math.NaN(), 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := NewFlowSim(topo, sim.NewEngine(1))
+			fs.SetLinkCapacityFraction(0, tc.frac)
+			if got := fs.LinkCapacity(0); got != tc.want {
+				t.Errorf("frac=%v: capacity = %g, want %g", tc.frac, got, tc.want)
+			}
+		})
+	}
+}
+
 func TestStartFlowValidation(t *testing.T) {
 	topo := mustTree(t, 4)
 	fs := NewFlowSim(topo, sim.NewEngine(1))

@@ -185,6 +185,13 @@ func (m *Monitor) SetTransitionHook(fn func(physical int, from, to ChannelState)
 	m.onTransit = fn
 }
 
+// TransitionHook returns the currently installed hook (nil when unset),
+// so a new subscriber can chain rather than replace it — the monitor has
+// a single hook slot by design (deterministic call order).
+func (m *Monitor) TransitionHook() func(physical int, from, to ChannelState) {
+	return m.onTransit
+}
+
 // MarkFailed forces a channel into the failed state (e.g. laser-off test
 // or an explicit kill in a failure-injection experiment).
 func (m *Monitor) MarkFailed(physical int) {

@@ -1,0 +1,149 @@
+package telemetry
+
+// MACStats is a neutral snapshot of one MAC/LLR endpoint's cumulative
+// counters and gauges. It mirrors mac.Stats field-for-field but lives
+// here so the telemetry package never imports internal/mac (which
+// imports faultinject, which imports telemetry); the MAC layer converts
+// its own stats into this struct when pushing.
+type MACStats struct {
+	PacketsQueued uint64
+	DataTx        uint64
+	Retransmits   uint64
+	AcksTx        uint64
+	DataRx        uint64
+	Delivered     uint64
+	Duplicates    uint64
+	OutOfOrder    uint64
+	AcksRx        uint64
+	CreditStalls  uint64
+	Timeouts      uint64
+
+	InFlight   int
+	QueueDepth int
+
+	DeframeFrames uint64
+	CRCRejects    uint64
+	HeaderRejects uint64
+	SkippedBytes  uint64
+}
+
+// macEndpoint holds the metric handles and previous snapshot for one
+// labeled endpoint.
+type macEndpoint struct {
+	packets, dataTx, retx, acksTx     *Counter
+	dataRx, delivered, dups, ooo      *Counter
+	acksRx, stalls, timeouts          *Counter
+	deframed, crcRej, hdrRej, skipped *Counter
+
+	inFlight, queueDepth, retxRate *Gauge
+
+	prev MACStats
+}
+
+// MACCollector pushes MAC endpoint snapshots into a Registry, following
+// the same discipline as LinkCollector: handles are created up front,
+// cumulative snapshot counters become registry deltas against the
+// previous Sync, and gauges are overwritten. All writes happen on the
+// caller's goroutine at superframe boundaries; scrapes read atomics.
+type MACCollector struct {
+	reg       *Registry
+	endpoints map[string]*macEndpoint
+
+	renegotiations *Counter
+	capacityFrac   *Gauge
+	prevReneg      uint64
+}
+
+// NewMACCollector registers the MAC metric set (with help text) and
+// returns a collector. Endpoint handles are created lazily per label on
+// first Sync; bridge-level metrics are singletons.
+func NewMACCollector(reg *Registry) *MACCollector {
+	reg.Help("mosaic_mac_retransmits_total", "LLR data frames re-sent by go-back-N")
+	reg.Help("mosaic_mac_delivered_total", "packets delivered in order to the client")
+	reg.Help("mosaic_mac_credit_stalls_total", "superframes where data waited on a full replay window")
+	reg.Help("mosaic_mac_crc_rejects_total", "MAC frames dropped by the deframer CRC check")
+	reg.Help("mosaic_mac_replay_occupancy", "unacked frames in the replay ring")
+	reg.Help("mosaic_mac_retx_rate", "retransmitted fraction of data frames since the last sync")
+	reg.Help("mosaic_mac_renegotiations_total", "capacity renegotiations published by the MAC bridge")
+	reg.Help("mosaic_mac_capacity_fraction", "capacity fraction last published by the MAC bridge")
+	c := &MACCollector{
+		reg:            reg,
+		endpoints:      make(map[string]*macEndpoint),
+		renegotiations: reg.Counter("mosaic_mac_renegotiations_total"),
+		capacityFrac:   reg.Gauge("mosaic_mac_capacity_fraction"),
+	}
+	c.capacityFrac.Set(1)
+	return c
+}
+
+func (c *MACCollector) endpoint(label string) *macEndpoint {
+	if ep, ok := c.endpoints[label]; ok {
+		return ep
+	}
+	r := c.reg
+	ep := &macEndpoint{
+		packets:    r.Counter("mosaic_mac_packets_queued_total", "endpoint", label),
+		dataTx:     r.Counter("mosaic_mac_data_frames_tx_total", "endpoint", label),
+		retx:       r.Counter("mosaic_mac_retransmits_total", "endpoint", label),
+		acksTx:     r.Counter("mosaic_mac_pure_acks_tx_total", "endpoint", label),
+		dataRx:     r.Counter("mosaic_mac_data_frames_rx_total", "endpoint", label),
+		delivered:  r.Counter("mosaic_mac_delivered_total", "endpoint", label),
+		dups:       r.Counter("mosaic_mac_duplicates_total", "endpoint", label),
+		ooo:        r.Counter("mosaic_mac_out_of_order_total", "endpoint", label),
+		acksRx:     r.Counter("mosaic_mac_acks_rx_total", "endpoint", label),
+		stalls:     r.Counter("mosaic_mac_credit_stalls_total", "endpoint", label),
+		timeouts:   r.Counter("mosaic_mac_timeouts_total", "endpoint", label),
+		deframed:   r.Counter("mosaic_mac_deframed_frames_total", "endpoint", label),
+		crcRej:     r.Counter("mosaic_mac_crc_rejects_total", "endpoint", label),
+		hdrRej:     r.Counter("mosaic_mac_header_rejects_total", "endpoint", label),
+		skipped:    r.Counter("mosaic_mac_resync_skipped_bytes_total", "endpoint", label),
+		inFlight:   r.Gauge("mosaic_mac_replay_occupancy", "endpoint", label),
+		queueDepth: r.Gauge("mosaic_mac_queue_depth", "endpoint", label),
+		retxRate:   r.Gauge("mosaic_mac_retx_rate", "endpoint", label),
+	}
+	c.endpoints[label] = ep
+	return ep
+}
+
+// Sync publishes one endpoint snapshot: counters advance by the delta
+// against the previous snapshot (so restarts of the underlying endpoint
+// never decrease registry counters), gauges are overwritten, and the
+// retx-rate gauge reflects only the window since the last Sync.
+func (c *MACCollector) Sync(label string, s MACStats) {
+	ep := c.endpoint(label)
+	p := ep.prev
+	ep.packets.Add(s.PacketsQueued - p.PacketsQueued)
+	ep.dataTx.Add(s.DataTx - p.DataTx)
+	ep.retx.Add(s.Retransmits - p.Retransmits)
+	ep.acksTx.Add(s.AcksTx - p.AcksTx)
+	ep.dataRx.Add(s.DataRx - p.DataRx)
+	ep.delivered.Add(s.Delivered - p.Delivered)
+	ep.dups.Add(s.Duplicates - p.Duplicates)
+	ep.ooo.Add(s.OutOfOrder - p.OutOfOrder)
+	ep.acksRx.Add(s.AcksRx - p.AcksRx)
+	ep.stalls.Add(s.CreditStalls - p.CreditStalls)
+	ep.timeouts.Add(s.Timeouts - p.Timeouts)
+	ep.deframed.Add(s.DeframeFrames - p.DeframeFrames)
+	ep.crcRej.Add(s.CRCRejects - p.CRCRejects)
+	ep.hdrRej.Add(s.HeaderRejects - p.HeaderRejects)
+	ep.skipped.Add(s.SkippedBytes - p.SkippedBytes)
+
+	ep.inFlight.SetInt(int64(s.InFlight))
+	ep.queueDepth.SetInt(int64(s.QueueDepth))
+	dRetx := s.Retransmits - p.Retransmits
+	dData := s.DataTx - p.DataTx + dRetx
+	if dData > 0 {
+		ep.retxRate.Set(float64(dRetx) / float64(dData))
+	} else {
+		ep.retxRate.Set(0)
+	}
+	ep.prev = s
+}
+
+// SyncBridge publishes bridge-level renegotiation state (cumulative
+// count plus the current capacity fraction).
+func (c *MACCollector) SyncBridge(renegotiations uint64, frac float64) {
+	c.renegotiations.Add(renegotiations - c.prevReneg)
+	c.prevReneg = renegotiations
+	c.capacityFrac.Set(frac)
+}
