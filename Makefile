@@ -12,7 +12,7 @@ FUZZ_TARGETS = internal/phy:FuzzFramerDecodeStream internal/phy:FuzzHammingFECDe
 	internal/phy:FuzzRSLiteDecode internal/phy:FuzzParseFramesNeverPanics \
 	internal/mac:FuzzMACDeframe
 
-.PHONY: check vet build test race determinism staticcheck bench bench-mac bench-check fuzz-smoke
+.PHONY: check vet build test race determinism staticcheck bench bench-mac bench-check fuzz-smoke verify-deep
 
 check: vet staticcheck build test race determinism
 
@@ -59,6 +59,20 @@ bench-mac:
 bench-check:
 	$(MAKE) --no-print-directory bench | $(GO) run ./cmd/benchguard \
 		-baseline ci/bench_baseline.json -out BENCH_E10.json
+
+# Deep differential verification: every optimized hot-path stage against
+# its naive reference model (internal/refmodel) over a large seeded
+# corpus, with the pipeline stage swept across worker counts, under the
+# race detector. Not part of check (several minutes); run it to certify a
+# perf-oriented change, or let CI's verify-deep job do it. A divergence
+# fails the run with a (stage, seed, case, size) repro and writes
+# DIVERGENCE.json for the CI artifact upload.
+DIFF_CASES ?= 200
+DIFF_SEED ?= 1
+verify-deep:
+	MOSAIC_VERIFY_DEEP=1 MOSAIC_DIFF_CASES=$(DIFF_CASES) MOSAIC_DIFF_SEED=$(DIFF_SEED) \
+		MOSAIC_DIFF_OUT=DIVERGENCE.json \
+		$(GO) test -race -run TestDiffDeep -v -timeout 60m ./internal/diffcheck/
 
 # CI fuzz smoke: each pkg:target pair gets a short budget (go test runs
 # one fuzz target at a time, so this is a loop, not a single invocation).

@@ -274,6 +274,14 @@ func (c *Code) DecodeErasures(received []int, erasures []int) ([]int, int, error
 	if nerr < 0 {
 		return nil, 0, ErrTooManyErrors
 	}
+	// Bounded-distance guard: v errors plus e erasures are only
+	// correctable when 2v+e <= n-k. Without this check a beyond-budget
+	// received word can slip through Chien/Forney and the final syndrome
+	// verification as a "successful" correction to a codeword at distance
+	// greater than t — a miscorrection, not a decode.
+	if v := nerr - len(erasures); v < 0 || 2*v+len(erasures) > np {
+		return nil, 0, ErrTooManyErrors
+	}
 
 	// Chien search: roots of Psi give error positions.
 	positions := make([]int, 0, nerr)

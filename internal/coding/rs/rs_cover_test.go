@@ -1,0 +1,216 @@
+package rs
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"mosaic/internal/coding/gf"
+)
+
+func TestMustNew(t *testing.T) {
+	c := MustNew(gf.MustNew(8), 68, 64, 0)
+	if c.T() != 2 {
+		t.Fatalf("MustNew(68,64) t=%d, want 2", c.T())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew with k >= n did not panic")
+		}
+	}()
+	MustNew(gf.MustNew(8), 10, 10, 0)
+}
+
+// TestEncodeTo checks the allocation-free encoder against Encode on random
+// data and exercises every argument-validation path.
+func TestEncodeTo(t *testing.T) {
+	c, err := Lite(24, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	out := make([]int, c.N())
+	for trial := 0; trial < 50; trial++ {
+		data := randData(rng, c)
+		want, err := c.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.EncodeTo(out, data); err != nil {
+			t.Fatal(err)
+		}
+		for i := range out {
+			if out[i] != want[i] {
+				t.Fatalf("EncodeTo differs from Encode at symbol %d", i)
+			}
+		}
+	}
+	if err := c.EncodeTo(out, make([]int, c.K()-1)); err == nil {
+		t.Error("short data accepted")
+	}
+	if err := c.EncodeTo(make([]int, c.N()-1), make([]int, c.K())); err == nil {
+		t.Error("short out accepted")
+	}
+	bad := make([]int, c.K())
+	bad[3] = 256
+	if err := c.EncodeTo(out, bad); err == nil {
+		t.Error("out-of-range symbol accepted")
+	}
+}
+
+// TestDecodeTo covers the clean fast path, the correction fallback, the
+// uncorrectable path, and the scratch-length validation.
+func TestDecodeTo(t *testing.T) {
+	c, err := Lite(24, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(32))
+	out := make([]int, c.N())
+	syn := make([]int, c.N()-c.K())
+	for trial := 0; trial < 50; trial++ {
+		cw, err := c.Encode(randData(rng, c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for nerr := 0; nerr <= c.T(); nerr++ {
+			recv := corrupt(rng, cw, nerr, c.Field().Size())
+			ncorr, err := c.DecodeTo(out, recv, syn)
+			if err != nil {
+				t.Fatalf("%d errors: %v", nerr, err)
+			}
+			if ncorr != nerr {
+				t.Fatalf("corrected %d symbols, injected %d", ncorr, nerr)
+			}
+			for i := range out {
+				if out[i] != cw[i] {
+					t.Fatalf("%d errors: symbol %d not restored", nerr, i)
+				}
+			}
+		}
+	}
+	// Uncorrectable: overwhelm the code and require an explicit error.
+	cw, _ := c.Encode(randData(rng, c))
+	uncorrectableSeen := false
+	for trial := 0; trial < 20 && !uncorrectableSeen; trial++ {
+		recv := corrupt(rng, cw, c.T()+2, c.Field().Size())
+		if _, err := c.DecodeTo(out, recv, syn); errors.Is(err, ErrTooManyErrors) {
+			uncorrectableSeen = true
+		}
+	}
+	if !uncorrectableSeen {
+		t.Error("t+2 errors never reported as uncorrectable")
+	}
+	if _, err := c.DecodeTo(out, make([]int, c.N()-1), syn); err == nil {
+		t.Error("short received accepted")
+	}
+	if _, err := c.DecodeTo(out, make([]int, c.N()), make([]int, 1)); err == nil {
+		t.Error("short syndrome scratch accepted")
+	}
+}
+
+// TestDecodeErasureBounds exercises the erasure-argument validation and
+// the 2v+e budget boundary: n-k erasures alone are correctable, one more
+// is not, and erasures combined with errors respect the shared budget.
+func TestDecodeErasureBounds(t *testing.T) {
+	c, err := Lite(24, 18) // n-k = 6, t = 3
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(33))
+	cw, err := c.Encode(randData(rng, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	np := c.N() - c.K()
+
+	// Exactly n-k erasures: correctable.
+	recv := make([]int, len(cw))
+	copy(recv, cw)
+	positions := rng.Perm(c.N())[:np]
+	for _, p := range positions {
+		recv[p] ^= 1 + rng.Intn(255)
+	}
+	fixed, ncorr, err := c.DecodeErasures(recv, positions)
+	if err != nil {
+		t.Fatalf("n-k erasures: %v", err)
+	}
+	if ncorr != np {
+		t.Fatalf("n-k erasures: corrected %d, want %d", ncorr, np)
+	}
+	for i := range fixed {
+		if fixed[i] != cw[i] {
+			t.Fatalf("n-k erasures: symbol %d not restored", i)
+		}
+	}
+
+	// One more than n-k erasure positions: rejected up front.
+	if _, _, err := c.DecodeErasures(recv, rng.Perm(c.N())[:np+1]); err == nil {
+		t.Error("n-k+1 erasures accepted")
+	}
+	// Out-of-range erasure position: rejected.
+	if _, _, err := c.DecodeErasures(recv, []int{c.N()}); err == nil {
+		t.Error("out-of-range erasure position accepted")
+	}
+	// Wrong word length: rejected.
+	if _, _, err := c.DecodeErasures(make([]int, c.N()-1), nil); err == nil {
+		t.Error("short word accepted")
+	}
+
+	// Budget boundary: e erasures leave room for (n-k-e)/2 errors.
+	for e := 0; e <= np; e += 2 {
+		v := (np - e) / 2
+		recv := make([]int, len(cw))
+		copy(recv, cw)
+		perm := rng.Perm(c.N())
+		for _, p := range perm[:e+v] {
+			recv[p] ^= 1 + rng.Intn(255)
+		}
+		fixed, _, err := c.DecodeErasures(recv, perm[:e])
+		if err != nil {
+			t.Fatalf("e=%d v=%d inside budget: %v", e, v, err)
+		}
+		for i := range fixed {
+			if fixed[i] != cw[i] {
+				t.Fatalf("e=%d v=%d: symbol %d not restored", e, v, i)
+			}
+		}
+	}
+}
+
+// TestBoundedDistanceGuard pins the miscorrection bug found by
+// FuzzRSLiteDecode: a received word at distance t+1 from a codeword must
+// never decode "successfully" to that codeword — bounded-distance decoding
+// only claims the radius-t ball.
+func TestBoundedDistanceGuard(t *testing.T) {
+	c, err := Lite(68, 64) // t = 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(34))
+	for trial := 0; trial < 200; trial++ {
+		cw, err := c.Encode(randData(rng, c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		recv := corrupt(rng, cw, c.T()+1, c.Field().Size())
+		fixed, ncorr, err := c.Decode(recv)
+		if err != nil {
+			continue // detected as uncorrectable: correct behavior
+		}
+		// A successful decode must have landed on a codeword within
+		// distance t of the received word — never further.
+		if ncorr > c.T() {
+			t.Fatalf("decoder claimed %d corrections with t=%d", ncorr, c.T())
+		}
+		dist := 0
+		for i := range fixed {
+			if fixed[i] != recv[i] {
+				dist++
+			}
+		}
+		if dist > c.T() {
+			t.Fatalf("decoder accepted a codeword at distance %d with t=%d", dist, c.T())
+		}
+	}
+}

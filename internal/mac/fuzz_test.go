@@ -3,6 +3,8 @@ package mac
 import (
 	"bytes"
 	"testing"
+
+	"mosaic/internal/refmodel"
 )
 
 // FuzzMACDeframe hammers the deframer with arbitrary byte streams:
@@ -64,6 +66,31 @@ func FuzzMACDeframe(f *testing.F) {
 		if total != uint64(len(data)) {
 			t.Fatalf("byte accounting: total=%d stats=%+v, input=%d",
 				total, d1.Stats, len(data))
+		}
+
+		// Differential oracle: the byte-at-a-time reference deframer must
+		// recover the identical frame sequence and reject taxonomy.
+		refFrames, refStats := refmodel.MACDeframe(data, 0)
+		if len(refFrames) != len(frames1) {
+			t.Fatalf("reference recovered %d frames, optimized %d", len(refFrames), len(frames1))
+		}
+		for i := range frames1 {
+			a, b := frames1[i], refFrames[i]
+			if a.Flags != b.Flags || a.Seq != b.Seq || a.Ack != b.Ack || !bytes.Equal(a.Payload, b.Payload) {
+				t.Fatalf("frame %d differs from reference: optimized %+v reference %+v", i, a, b)
+			}
+		}
+		optStats := refmodel.MACDeframeStats{
+			Frames:        d1.Stats.Frames,
+			PayloadBytes:  d1.Stats.PayloadBytes,
+			IdleBytes:     d1.Stats.IdleBytes,
+			SkippedBytes:  d1.Stats.SkippedBytes,
+			HeaderRejects: d1.Stats.HeaderRejects,
+			CRCRejects:    d1.Stats.CRCRejects,
+			Truncated:     d1.Stats.Truncated,
+		}
+		if optStats != refStats {
+			t.Fatalf("deframe stats differ: optimized %+v reference %+v", optStats, refStats)
 		}
 
 		// Feeding arbitrary bytes through an endpoint must not panic

@@ -3,6 +3,8 @@ package phy
 import (
 	"bytes"
 	"testing"
+
+	"mosaic/internal/refmodel"
 )
 
 // Fuzz targets: every decoder that faces wire bytes must tolerate
@@ -47,14 +49,44 @@ func FuzzHammingFECDecode(f *testing.F) {
 
 func FuzzRSLiteDecode(f *testing.F) {
 	fec := NewRSLite()
+	ref := refmodel.NewRSLiteRef()
 	enc := fec.Encode(make([]byte, 64))
 	f.Add(enc)
+	damaged := append([]byte(nil), enc...)
+	damaged[3] ^= 0x40
+	damaged[40] ^= 0x01
+	f.Add(damaged)
+	overloaded := append([]byte(nil), enc...)
+	for i := 0; i < 10; i++ {
+		overloaded[i*5] ^= 0xFF
+	}
+	f.Add(overloaded)
 	f.Fuzz(func(t *testing.T, data []byte) {
-		out, _, err := fec.Decode(data, 64)
+		out, ncorr, err := fec.Decode(data, 64)
 		// Truncated-stream errors return best-effort bytes; a successful
 		// decode must honour the requested plaintext length exactly.
 		if err == nil && len(out) != 64 {
 			t.Fatalf("decode returned %d bytes", len(out))
+		}
+		// Differential oracle: the brute-force reference decoder must
+		// reach the same verdict, the same bytes, and the same correction
+		// count on every input the fuzzer invents.
+		refOut, refCorr, refStatus := ref.Decode(data, 64)
+		truncated := len(data) < fec.EncodedLen(64)
+		if truncated != (refStatus == refmodel.FECTruncated) {
+			t.Fatalf("truncation verdicts differ: optimized err=%v reference status=%d", err, refStatus)
+		}
+		if truncated {
+			return
+		}
+		if (err == nil) != (refStatus == refmodel.FECOK) {
+			t.Fatalf("decode verdicts differ: optimized err=%v reference status=%d", err, refStatus)
+		}
+		if !bytes.Equal(out, refOut) {
+			t.Fatalf("decoded bytes differ:\noptimized %x\nreference %x", out, refOut)
+		}
+		if ncorr != refCorr {
+			t.Fatalf("correction counts differ: optimized %d reference %d", ncorr, refCorr)
 		}
 	})
 }

@@ -131,6 +131,13 @@ func laneUnits(totalUnits, lanes, lane int) int {
 	return (totalUnits - lane + lanes - 1) / lanes
 }
 
+// LaneUnits exposes the striper's unit-count arithmetic so differential
+// harnesses can compare it against a reference striper that materialises
+// the units.
+func LaneUnits(totalUnits, lanes, lane int) int {
+	return laneUnits(totalUnits, lanes, lane)
+}
+
 // stageLane runs one lane end to end: frame each of its units, push the
 // wire bytes through the lane's physical channel, then hunt, FEC-decode,
 // and validate the received stream, writing recovered units directly into

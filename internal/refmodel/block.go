@@ -1,0 +1,105 @@
+package refmodel
+
+import "fmt"
+
+// Reference 64b/66b block coding (byte-oriented model: 1 sync byte + 8
+// payload bytes per block). The constants are re-stated here from the
+// IEEE clause-49 subset the Mosaic PHY uses — sync 01 for data, 10 for
+// control, idle/start/terminate control types — independently of
+// internal/coding/linecode.
+
+// BlockLen is the serialized size of one block in the byte model.
+const BlockLen = 9
+
+// Sync header bytes.
+const (
+	refSyncData byte = 0b01
+	refSyncCtrl byte = 0b10
+)
+
+// Control type bytes.
+const (
+	refTypeIdle  byte = 0x1e
+	refTypeStart byte = 0x78
+)
+
+// refTermType[n] is the type byte for "terminate after n data bytes".
+var refTermType = [8]byte{0x87, 0x99, 0xaa, 0xb4, 0xcc, 0xd2, 0xe1, 0xff}
+
+// BlockKind discriminates reference block contents.
+type BlockKind int
+
+// Block kinds.
+const (
+	BlockData BlockKind = iota
+	BlockIdle
+	BlockStart
+	BlockTerm
+	BlockBad // unparseable sync or control type
+)
+
+// RefBlock is one decoded reference block.
+type RefBlock struct {
+	Kind    BlockKind
+	Data    []byte // BlockData: 8 bytes; BlockStart: 7; BlockTerm: TermLen
+	TermLen int
+}
+
+// appendIdleBlock serialises one idle block onto dst.
+func appendIdleBlock(dst []byte) []byte {
+	dst = append(dst, refSyncCtrl, refTypeIdle)
+	for i := 0; i < 7; i++ {
+		dst = append(dst, 0)
+	}
+	return dst
+}
+
+// AppendFrameBlocks serialises a frame as start/data/terminate blocks:
+// the start block carries the first 7 bytes, full data blocks the next
+// 8-byte words, and the terminate block the 0..7 byte remainder.
+func AppendFrameBlocks(dst, frame []byte) ([]byte, error) {
+	if len(frame) < 7 {
+		return dst, fmt.Errorf("refmodel: frame of %d bytes below the 7-byte start block", len(frame))
+	}
+	dst = append(dst, refSyncCtrl, refTypeStart)
+	dst = append(dst, frame[:7]...)
+	rest := frame[7:]
+	for len(rest) >= 8 {
+		dst = append(dst, refSyncData)
+		dst = append(dst, rest[:8]...)
+		rest = rest[8:]
+	}
+	dst = append(dst, refSyncCtrl, refTermType[len(rest)])
+	dst = append(dst, rest...)
+	for i := len(rest); i < 7; i++ {
+		dst = append(dst, 0)
+	}
+	return dst, nil
+}
+
+// DecodeBlockBytes parses one serialized 9-byte block. Anything that is
+// not a well-formed data/idle/start/terminate block comes back BlockBad.
+func DecodeBlockBytes(b []byte) RefBlock {
+	if len(b) != BlockLen {
+		return RefBlock{Kind: BlockBad}
+	}
+	switch b[0] {
+	case refSyncData:
+		return RefBlock{Kind: BlockData, Data: append([]byte(nil), b[1:9]...)}
+	case refSyncCtrl:
+		switch b[1] {
+		case refTypeIdle:
+			return RefBlock{Kind: BlockIdle}
+		case refTypeStart:
+			return RefBlock{Kind: BlockStart, Data: append([]byte(nil), b[2:9]...)}
+		}
+		for n, tt := range refTermType {
+			if b[1] == tt {
+				return RefBlock{Kind: BlockTerm, TermLen: n, Data: append([]byte(nil), b[2:2+n]...)}
+			}
+		}
+		return RefBlock{Kind: BlockBad}
+	default:
+		return RefBlock{Kind: BlockBad}
+	}
+}

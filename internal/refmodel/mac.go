@@ -1,0 +1,322 @@
+package refmodel
+
+import "fmt"
+
+// Reference MAC layer. The wire format is re-stated here independently of
+// internal/mac (magic | flags | seq | ack | len | payload | crc32, idle
+// fill 0x00), the deframer parses every field with explicit arithmetic
+// and the bitwise reference CRC, and the go-back-N endpoint keeps its
+// replay state as plain slices of freshly copied payloads — no ring, no
+// buffer recycling, no reuse of any kind.
+
+// MAC wire constants.
+const (
+	MACMagic0   = 0xD5
+	MACMagic1   = 0x4D
+	MACIdleByte = 0x00
+
+	MACHeaderLen   = 9
+	MACOverhead    = MACHeaderLen + 4
+	MACMaxPayload  = 2048 // default payload bound, as in the optimized MAC
+	MACFlagData    = 1 << 0
+	MACFlagAck     = 1 << 1
+	MACWindow      = 64 // default go-back-N window
+	MACRetxTimeout = 3  // default superframe retransmit timeout
+)
+
+// MACFrame is one decoded reference MAC frame (payload freshly copied).
+type MACFrame struct {
+	Flags   byte
+	Seq     uint16
+	Ack     uint16
+	Payload []byte
+}
+
+// MACDeframeStats mirrors mac.DeframeStats field for field.
+type MACDeframeStats struct {
+	Frames        uint64
+	PayloadBytes  uint64
+	IdleBytes     uint64
+	SkippedBytes  uint64
+	HeaderRejects uint64
+	CRCRejects    uint64
+	Truncated     uint64
+}
+
+// AppendMACFrame encodes one MAC frame onto dst byte by byte.
+func AppendMACFrame(dst []byte, flags byte, seq, ack uint16, payload []byte) []byte {
+	start := len(dst)
+	dst = append(dst, MACMagic0, MACMagic1, flags,
+		byte(seq>>8), byte(seq), byte(ack>>8), byte(ack),
+		byte(len(payload)>>8), byte(len(payload)))
+	dst = append(dst, payload...)
+	crc := CRC32(dst[start:])
+	return append(dst, byte(crc>>24), byte(crc>>16), byte(crc>>8), byte(crc))
+}
+
+// MACDeframe scans buf for MAC frames with the same accept/reject
+// protocol as the optimized deframer — accepted frames consume their
+// whole extent, every reject advances one byte — but re-derives each
+// candidate from scratch: header fields by explicit shifts, the CRC by
+// the bitwise reference implementation, payloads as fresh copies.
+func MACDeframe(buf []byte, maxPayload int) ([]MACFrame, MACDeframeStats) {
+	if maxPayload <= 0 {
+		maxPayload = MACMaxPayload
+	}
+	var frames []MACFrame
+	var st MACDeframeStats
+	i := 0
+	for i+MACOverhead <= len(buf) {
+		if buf[i] != MACMagic0 {
+			if buf[i] == MACIdleByte {
+				st.IdleBytes++
+			} else {
+				st.SkippedBytes++
+			}
+			i++
+			continue
+		}
+		if buf[i+1] != MACMagic1 {
+			st.SkippedBytes++
+			i++
+			continue
+		}
+		n := int(buf[i+7])<<8 | int(buf[i+8])
+		if n > maxPayload {
+			st.HeaderRejects++
+			i++
+			continue
+		}
+		end := i + MACHeaderLen + n + 4
+		if end > len(buf) {
+			st.Truncated++
+			i++
+			continue
+		}
+		want := uint32(buf[end-4])<<24 | uint32(buf[end-3])<<16 |
+			uint32(buf[end-2])<<8 | uint32(buf[end-1])
+		if CRC32(buf[i:end-4]) != want {
+			st.CRCRejects++
+			i++
+			continue
+		}
+		st.Frames++
+		st.PayloadBytes += uint64(n)
+		frames = append(frames, MACFrame{
+			Flags:   buf[i+2],
+			Seq:     uint16(buf[i+3])<<8 | uint16(buf[i+4]),
+			Ack:     uint16(buf[i+5])<<8 | uint16(buf[i+6]),
+			Payload: append([]byte(nil), buf[i+MACHeaderLen:i+MACHeaderLen+n]...),
+		})
+		i = end
+	}
+	for ; i < len(buf); i++ {
+		if buf[i] == MACIdleByte {
+			st.IdleBytes++
+		} else {
+			st.SkippedBytes++
+		}
+	}
+	return frames, st
+}
+
+// MACStats mirrors the counter fields of mac.Stats (gauges included).
+type MACStats struct {
+	PacketsQueued uint64
+	DataTx        uint64
+	Retransmits   uint64
+	AcksTx        uint64
+	DataRx        uint64
+	Delivered     uint64
+	Duplicates    uint64
+	OutOfOrder    uint64
+	AcksRx        uint64
+	CreditStalls  uint64
+	Timeouts      uint64
+
+	InFlight   int
+	QueueDepth int
+
+	Deframe MACDeframeStats
+}
+
+// macSlot is one in-flight frame: slot k of the list carries sequence
+// base+k. Payloads are owned fresh copies.
+type macSlot struct {
+	payload  []byte
+	sentTick uint64
+}
+
+// LLREndpoint is the reference go-back-N endpoint: a single-threaded
+// state machine advanced in lockstep with the optimized mac.Endpoint.
+// BuildSuperframe must produce byte-identical superframes and Stats must
+// track field for field — the protocol decisions (retransmit ordering,
+// budget cuts, ack piggybacking, idle fill) are re-derived from the
+// protocol description, not from the optimized code's buffer mechanics.
+type LLREndpoint struct {
+	window      int
+	retxTimeout int
+	maxPayload  int
+	budget      int
+
+	queue    [][]byte
+	inflight []macSlot // inflight[0] carries seq base
+	base     uint16
+	nextSeq  uint16
+
+	rxExpected uint16
+	ackDirty   bool
+	tick       uint64
+	stats      MACStats
+	delivered  [][]byte
+}
+
+// NewLLREndpoint builds a reference endpoint; zero parameters select the
+// protocol defaults (window 64, timeout 3, max payload 2048).
+func NewLLREndpoint(window, retxTimeout, maxPayload, budget int) (*LLREndpoint, error) {
+	if window <= 0 {
+		window = MACWindow
+	}
+	if retxTimeout <= 0 {
+		retxTimeout = MACRetxTimeout
+	}
+	if maxPayload <= 0 {
+		maxPayload = MACMaxPayload
+	}
+	if budget < maxPayload+MACOverhead {
+		return nil, fmt.Errorf("refmodel: budget %d cannot hold one max frame", budget)
+	}
+	return &LLREndpoint{window: window, retxTimeout: retxTimeout, maxPayload: maxPayload, budget: budget}, nil
+}
+
+// Send queues one packet (copied).
+func (e *LLREndpoint) Send(payload []byte) error {
+	if len(payload) > e.maxPayload {
+		return fmt.Errorf("refmodel: packet %dB exceeds max payload %d", len(payload), e.maxPayload)
+	}
+	e.queue = append(e.queue, append([]byte(nil), payload...))
+	e.stats.PacketsQueued++
+	return nil
+}
+
+// Delivered returns every in-order packet delivered so far (fresh
+// copies, in delivery order).
+func (e *LLREndpoint) Delivered() [][]byte { return e.delivered }
+
+// BuildSuperframe advances one tick and returns a fresh superframe
+// payload: timed-out window replay first, then fresh data, then a pure
+// ack if needed, then idle fill to the budget.
+func (e *LLREndpoint) BuildSuperframe() []byte {
+	e.tick++
+	out := make([]byte, 0, e.budget)
+	ackSent := false
+
+	if len(e.inflight) > 0 && e.tick-e.inflight[0].sentTick >= uint64(e.retxTimeout) {
+		e.stats.Timeouts++
+		for k := range e.inflight {
+			if len(out)+MACOverhead+len(e.inflight[k].payload) > e.budget {
+				break
+			}
+			out = AppendMACFrame(out, MACFlagData|MACFlagAck,
+				e.base+uint16(k), e.rxExpected, e.inflight[k].payload)
+			e.inflight[k].sentTick = e.tick
+			e.stats.Retransmits++
+			ackSent = true
+		}
+	}
+
+	for len(e.queue) > 0 && len(e.inflight) < e.window {
+		p := e.queue[0]
+		if len(out)+MACOverhead+len(p) > e.budget {
+			break
+		}
+		e.inflight = append(e.inflight, macSlot{payload: append([]byte(nil), p...), sentTick: e.tick})
+		out = AppendMACFrame(out, MACFlagData|MACFlagAck, e.nextSeq, e.rxExpected, p)
+		e.nextSeq++
+		e.stats.DataTx++
+		ackSent = true
+		e.queue = e.queue[1:]
+	}
+	if len(e.queue) > 0 && len(e.inflight) == e.window {
+		e.stats.CreditStalls++
+	}
+
+	if e.ackDirty && !ackSent {
+		out = AppendMACFrame(out, MACFlagAck, 0, e.rxExpected, nil)
+		e.stats.AcksTx++
+		ackSent = true
+	}
+	if ackSent {
+		e.ackDirty = false
+	}
+
+	for len(out) < e.budget {
+		out = append(out, MACIdleByte)
+	}
+	e.stats.InFlight = len(e.inflight)
+	e.stats.QueueDepth = len(e.queue)
+	return out
+}
+
+// Accept ingests the delivered chunks of the peer's superframe.
+func (e *LLREndpoint) Accept(chunks [][]byte) {
+	var rx []byte
+	for _, c := range chunks {
+		rx = append(rx, c...)
+	}
+	frames, st := MACDeframe(rx, e.maxPayload)
+	// The optimized deframer's stats are cumulative across Accept calls.
+	e.stats.Deframe.Frames += st.Frames
+	e.stats.Deframe.PayloadBytes += st.PayloadBytes
+	e.stats.Deframe.IdleBytes += st.IdleBytes
+	e.stats.Deframe.SkippedBytes += st.SkippedBytes
+	e.stats.Deframe.HeaderRejects += st.HeaderRejects
+	e.stats.Deframe.CRCRejects += st.CRCRejects
+	e.stats.Deframe.Truncated += st.Truncated
+	for _, f := range frames {
+		e.handleFrame(f)
+	}
+	e.stats.InFlight = len(e.inflight)
+	e.stats.QueueDepth = len(e.queue)
+}
+
+func (e *LLREndpoint) handleFrame(f MACFrame) {
+	if f.Flags&MACFlagAck != 0 {
+		e.handleAck(f.Ack)
+	}
+	if f.Flags&MACFlagData == 0 {
+		return
+	}
+	e.stats.DataRx++
+	switch d := int16(f.Seq - e.rxExpected); {
+	case d == 0:
+		e.stats.Delivered++
+		e.delivered = append(e.delivered, append([]byte(nil), f.Payload...))
+		e.rxExpected++
+		e.ackDirty = true
+	case d < 0:
+		e.stats.Duplicates++
+		e.ackDirty = true
+	default:
+		e.stats.OutOfOrder++
+		e.ackDirty = true
+	}
+}
+
+func (e *LLREndpoint) handleAck(ack uint16) {
+	adv := int(int16(ack - e.base))
+	if adv < 0 || adv > len(e.inflight) {
+		return
+	}
+	e.stats.AcksRx++
+	e.inflight = e.inflight[adv:]
+	e.base = ack
+}
+
+// Stats returns a snapshot of the endpoint's counters.
+func (e *LLREndpoint) Stats() MACStats {
+	s := e.stats
+	s.InFlight = len(e.inflight)
+	s.QueueDepth = len(e.queue)
+	return s
+}

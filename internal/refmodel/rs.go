@@ -1,0 +1,203 @@
+package refmodel
+
+import "fmt"
+
+// RS is a reference systematic Reed-Solomon code over GF(256). It mirrors
+// the codeword layout of internal/coding/rs — positions 0..n-k-1 hold the
+// parity, n-k..n-1 the data — but shares no algorithm with it:
+//
+//   - Encode solves the root conditions c(alpha^{fcr+j}) = 0 directly as a
+//     linear system for the parity symbols (Gaussian elimination), instead
+//     of running the generator-polynomial division register.
+//   - Decode is brute-force bounded-distance: it tries every error-position
+//     subset of weight 1..t, solves the syndrome equations for the error
+//     magnitudes, and accepts the unique consistent correction — instead of
+//     Berlekamp-Massey, Chien search, and Forney's formula.
+//
+// Both are textbook-obvious and unconscionably slow, which is exactly what
+// a differential oracle wants.
+type RS struct {
+	n, k, t, fcr int
+}
+
+// maxSubsets bounds the brute-force search space so a reference decode
+// stays test-speed; codes whose subset count exceeds it are rejected.
+const maxSubsets = 200000
+
+// NewRS builds a reference RS(n,k) over GF(256) with first consecutive
+// root alpha^fcr.
+func NewRS(n, k, fcr int) (*RS, error) {
+	if k <= 0 || n <= k || n > 255 {
+		return nil, fmt.Errorf("refmodel: invalid RS(%d,%d)", n, k)
+	}
+	c := &RS{n: n, k: k, t: (n - k) / 2, fcr: fcr}
+	subsets := 0
+	choose := 1
+	for w := 1; w <= c.t; w++ {
+		choose = choose * (n - w + 1) / w
+		subsets += choose
+		if subsets > maxSubsets {
+			return nil, fmt.Errorf("refmodel: RS(%d,%d) brute-force space too large (> %d subsets)", n, k, maxSubsets)
+		}
+	}
+	return c, nil
+}
+
+// N returns the codeword length, K the data length, T the error budget.
+func (c *RS) N() int { return c.n }
+
+// K returns the number of data symbols.
+func (c *RS) K() int { return c.k }
+
+// T returns the number of correctable symbol errors.
+func (c *RS) T() int { return c.t }
+
+// evalAt evaluates the received word as a polynomial at alpha^e, term by
+// term with naive exponentiation — no Horner, no shared state.
+func (c *RS) evalAt(word []int, e int) int {
+	x := GFAlpha(e)
+	sum := 0
+	for i, w := range word {
+		sum = GFAdd(sum, GFMul(w, GFPow(x, i)))
+	}
+	return sum
+}
+
+// Encode appends n-k parity symbols for the k data symbols by solving the
+// root conditions: with the data occupying positions n-k..n-1, the parity
+// symbols p_0..p_{np-1} must satisfy, for each root X_j = alpha^{fcr+j},
+//
+//	sum_i p_i·X_j^i = sum_i data_i·X_j^{np+i}
+//
+// (char-2 fields make subtraction addition). The Vandermonde-structured
+// system is nonsingular because the roots are distinct.
+func (c *RS) Encode(data []int) ([]int, error) {
+	if len(data) != c.k {
+		return nil, fmt.Errorf("refmodel: encode needs %d symbols, got %d", c.k, len(data))
+	}
+	for _, s := range data {
+		if s < 0 || s > 255 {
+			return nil, fmt.Errorf("refmodel: symbol %d out of range", s)
+		}
+	}
+	np := c.n - c.k
+	m := make([][]int, np)
+	rhs := make([]int, np)
+	for j := 0; j < np; j++ {
+		x := GFAlpha(c.fcr + j)
+		m[j] = make([]int, np)
+		for i := 0; i < np; i++ {
+			m[j][i] = GFPow(x, i)
+		}
+		for i, d := range data {
+			rhs[j] = GFAdd(rhs[j], GFMul(d, GFPow(x, np+i)))
+		}
+	}
+	parity, ok := gfSolve(m, rhs)
+	if !ok {
+		return nil, fmt.Errorf("refmodel: singular parity system for RS(%d,%d)", c.n, c.k)
+	}
+	out := make([]int, c.n)
+	copy(out[:np], parity)
+	copy(out[np:], data)
+	return out, nil
+}
+
+// Decode brute-forces the bounded-distance decoding of received: it
+// returns the corrected codeword, the number of symbols corrected, and
+// ok=false when no codeword lies within distance t (the word is then
+// returned uncorrected, best-effort). A returned correction is verified
+// against all n-k syndrome equations, so a true result is a codeword by
+// construction.
+func (c *RS) Decode(received []int) ([]int, int, bool) {
+	if len(received) != c.n {
+		return nil, 0, false
+	}
+	out := make([]int, c.n)
+	copy(out, received)
+	np := c.n - c.k
+	syn := make([]int, np)
+	clean := true
+	for j := 0; j < np; j++ {
+		syn[j] = c.evalAt(received, c.fcr+j)
+		if syn[j] != 0 {
+			clean = false
+		}
+	}
+	if clean {
+		return out, 0, true
+	}
+	positions := make([]int, c.t)
+	for w := 1; w <= c.t; w++ {
+		if fixed := c.searchWeight(received, syn, positions[:w], 0, 0); fixed != nil {
+			return fixed, w, true
+		}
+	}
+	return out, 0, false
+}
+
+// searchWeight enumerates error-position subsets of len(chosen) symbols
+// (positions ascending, continuing from `from` with `depth` already
+// chosen) and returns the corrected codeword for the first consistent
+// subset, or nil.
+func (c *RS) searchWeight(received, syn, chosen []int, depth, from int) []int {
+	w := len(chosen)
+	if depth == w {
+		return c.tryPattern(received, syn, chosen)
+	}
+	for pos := from; pos <= c.n-(w-depth); pos++ {
+		chosen[depth] = pos
+		if fixed := c.searchWeight(received, syn, chosen, depth+1, pos+1); fixed != nil {
+			return fixed
+		}
+	}
+	return nil
+}
+
+// tryPattern solves the first w syndrome equations for the magnitudes at
+// the chosen positions, then checks the remaining equations and that no
+// magnitude is zero (a zero magnitude means a lower-weight pattern, which
+// an earlier pass already tried).
+func (c *RS) tryPattern(received, syn, chosen []int) []int {
+	w := len(chosen)
+	np := c.n - c.k
+	m := make([][]int, w)
+	rhs := make([]int, w)
+	for j := 0; j < w; j++ {
+		m[j] = make([]int, w)
+		for e, pos := range chosen {
+			m[j][e] = GFPow(GFAlpha(pos), c.fcr+j)
+		}
+		rhs[j] = syn[j]
+	}
+	mags, ok := gfSolve(m, rhs)
+	if !ok {
+		return nil
+	}
+	for _, y := range mags {
+		if y == 0 {
+			return nil
+		}
+	}
+	for j := w; j < np; j++ {
+		sum := 0
+		for e, pos := range chosen {
+			sum = GFAdd(sum, GFMul(mags[e], GFPow(GFAlpha(pos), c.fcr+j)))
+		}
+		if sum != syn[j] {
+			return nil
+		}
+	}
+	out := make([]int, c.n)
+	copy(out, received)
+	for e, pos := range chosen {
+		out[pos] = GFAdd(out[pos], mags[e])
+	}
+	// Paranoia: the accepted correction must be a codeword.
+	for j := 0; j < np; j++ {
+		if c.evalAt(out, c.fcr+j) != 0 {
+			return nil
+		}
+	}
+	return out
+}

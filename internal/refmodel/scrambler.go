@@ -1,0 +1,83 @@
+package refmodel
+
+// Reference x^58 multiplicative scrambler (G(x) = 1 + x^39 + x^58). Where
+// the optimized implementation keeps a 58-bit shift register in a uint64,
+// the reference keeps the literal history of bits as a slice and reads the
+// taps by indexing 39 and 58 positions back — the textbook picture of a
+// self-synchronizing scrambler, one bit at a time.
+
+// seedHistory expands a 58-bit register seed into an output/input history,
+// oldest bit first: register bit j is the bit from j+1 steps ago.
+func seedHistory(seed uint64) []byte {
+	h := make([]byte, 58)
+	for j := 0; j < 58; j++ {
+		h[57-j] = byte(seed>>uint(j)) & 1
+	}
+	return h
+}
+
+// Scrambler is the reference scrambler. Construct with NewScrambler.
+type Scrambler struct {
+	hist []byte // every output bit ever produced, preceded by the seed bits
+}
+
+// NewScrambler seeds the reference scrambler.
+func NewScrambler(seed uint64) *Scrambler {
+	return &Scrambler{hist: seedHistory(seed)}
+}
+
+// ScrambleBit scrambles one bit: the output is the input XOR the outputs
+// from 39 and 58 steps ago.
+func (s *Scrambler) ScrambleBit(in byte) byte {
+	n := len(s.hist)
+	out := (in & 1) ^ s.hist[n-39] ^ s.hist[n-58]
+	s.hist = append(s.hist, out)
+	return out
+}
+
+// Scramble scrambles a packed byte slice, LSB-first within each byte,
+// returning a fresh slice.
+func (s *Scrambler) Scramble(bits []byte) []byte {
+	out := make([]byte, len(bits))
+	for i, b := range bits {
+		var v byte
+		for j := 0; j < 8; j++ {
+			v |= s.ScrambleBit(b>>uint(j)) << uint(j)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Descrambler is the reference descrambler: the taps read the *input*
+// history, which is what makes the pair self-synchronizing.
+type Descrambler struct {
+	hist []byte // every input bit ever consumed, preceded by the seed bits
+}
+
+// NewDescrambler seeds the reference descrambler.
+func NewDescrambler(seed uint64) *Descrambler {
+	return &Descrambler{hist: seedHistory(seed)}
+}
+
+// DescrambleBit descrambles one bit.
+func (d *Descrambler) DescrambleBit(in byte) byte {
+	n := len(d.hist)
+	out := (in & 1) ^ d.hist[n-39] ^ d.hist[n-58]
+	d.hist = append(d.hist, in&1)
+	return out
+}
+
+// Descramble descrambles a packed byte slice, LSB-first within each byte,
+// returning a fresh slice.
+func (d *Descrambler) Descramble(bits []byte) []byte {
+	out := make([]byte, len(bits))
+	for i, b := range bits {
+		var v byte
+		for j := 0; j < 8; j++ {
+			v |= d.DescrambleBit(b>>uint(j)) << uint(j)
+		}
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package refmodel
+
+import "fmt"
+
+// Reference striper/destriper. The optimized pipeline never materialises
+// units — unit (seq, lane) is a byte-offset computation into one stream
+// buffer. The reference deals explicit unit records round-robin like a
+// hand of cards and reassembles by drawing them back in deal order, so
+// the permutation exists as a data structure that can be compared against
+// the optimized index arithmetic.
+
+// Unit is one stripe unit assigned to a lane.
+type Unit struct {
+	Lane    int
+	Seq     int // per-lane sequence number
+	Payload []byte
+}
+
+// Stripe deals the stream into per-lane unit lists, round-robin in stream
+// order: unit g goes to lane g mod lanes. The stream length must be a
+// whole number of units.
+func Stripe(stream []byte, lanes, unitLen int) ([][]Unit, error) {
+	if lanes <= 0 || unitLen <= 0 {
+		return nil, fmt.Errorf("refmodel: need positive lanes and unitLen")
+	}
+	if len(stream)%unitLen != 0 {
+		return nil, fmt.Errorf("refmodel: stream of %d bytes is not whole units of %d", len(stream), unitLen)
+	}
+	out := make([][]Unit, lanes)
+	lane := 0
+	for off := 0; off < len(stream); off += unitLen {
+		payload := append([]byte(nil), stream[off:off+unitLen]...)
+		out[lane] = append(out[lane], Unit{Lane: lane, Seq: len(out[lane]), Payload: payload})
+		lane = (lane + 1) % lanes
+	}
+	return out, nil
+}
+
+// Destripe reverses Stripe by drawing units back in deal order: unit g
+// comes from lane g mod lanes with per-lane sequence g div lanes, found
+// by linear search so arrival order never matters. Missing units (lost
+// frames on that lane) leave a zero-filled gap, matching the
+// receive-side contract of the optimized pipeline.
+func Destripe(perLane [][]Unit, totalUnits, unitLen int) []byte {
+	lanes := len(perLane)
+	out := make([]byte, 0, totalUnits*unitLen)
+	for g := 0; g < totalUnits; g++ {
+		lane := g % lanes
+		seq := g / lanes
+		var payload []byte
+		for _, u := range perLane[lane] {
+			if u.Seq == seq {
+				payload = u.Payload
+				break
+			}
+		}
+		gap := make([]byte, unitLen)
+		copy(gap, payload)
+		out = append(out, gap...)
+	}
+	return out
+}

@@ -1,0 +1,287 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mosaic/internal/phy"
+)
+
+func newTestLink(t *testing.T) *phy.Link {
+	t.Helper()
+	link, err := phy.New(phy.Config{
+		Lanes: 2, Spares: 1, FEC: phy.NewRSLite(), UnitLen: 27,
+		PerChannelBitRate: 2e9, Seed: 5, Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return link
+}
+
+// TestLinkCollector drives a real link through clean exchanges, a channel
+// kill, and a sparing remap, checking that the registry counters track the
+// exchange statistics and the per-channel gauges track the monitor.
+func TestLinkCollector(t *testing.T) {
+	link := newTestLink(t)
+	r := NewRegistry()
+	c := NewLinkCollector(r, link)
+
+	frames := [][]byte{[]byte("hello mosaic"), []byte("telemetry")}
+	var wantIn, wantDelivered uint64
+	for i := 0; i < 3; i++ {
+		out, st, err := link.Exchange(frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantIn += uint64(st.FramesIn)
+		wantDelivered += uint64(len(out))
+		c.ObserveExchange(st)
+		c.Sync()
+	}
+	if got := r.Counter("mosaic_link_frames_in_total").Value(); got != wantIn {
+		t.Fatalf("frames_in counter %d, want %d", got, wantIn)
+	}
+	if got := r.Counter("mosaic_link_frames_delivered_total").Value(); got != wantDelivered {
+		t.Fatalf("frames_delivered counter %d, want %d", got, wantDelivered)
+	}
+	if got := r.Gauge("mosaic_link_superframes").Value(); got != 3 {
+		t.Fatalf("superframes gauge %v, want 3", got)
+	}
+	if got := r.Gauge("mosaic_link_lanes_active").Value(); got != 2 {
+		t.Fatalf("lanes_active gauge %v, want 2", got)
+	}
+	if got := r.Gauge("mosaic_link_spares_left").Value(); got != 1 {
+		t.Fatalf("spares_left gauge %v, want 1", got)
+	}
+	okBefore := r.Counter("mosaic_channel_frames_ok_total", "channel", "0").Value()
+	if okBefore == 0 {
+		t.Fatal("channel 0 accepted no frames over 3 clean exchanges")
+	}
+
+	// Kill channel 0's transmitter: the dead gauge must flip, losses must
+	// accrue, and after a remap the spare count must drop.
+	link.KillChannel(0)
+	if _, st, err := link.Exchange(frames); err != nil {
+		t.Fatal(err)
+	} else {
+		c.ObserveExchange(st)
+	}
+	c.Sync()
+	if got := r.Gauge("mosaic_channel_dead", "channel", "0").Value(); got != 1 {
+		t.Fatalf("dead gauge for killed channel %v, want 1", got)
+	}
+	if got := r.Counter("mosaic_channel_frames_lost_total", "channel", "0").Value(); got == 0 {
+		t.Fatal("killed channel shows no lost frames")
+	}
+	if got := r.Counter("mosaic_link_units_lost_total").Value(); got == 0 {
+		t.Fatal("link shows no lost units with a dead channel")
+	}
+	link.FailChannel(0)
+	c.Sync()
+	if got := r.Gauge("mosaic_link_spares_left").Value(); got != 0 {
+		t.Fatalf("spares_left after remap %v, want 0", got)
+	}
+}
+
+// TestLinkCollectorOnTransition covers both the pre-registered transition
+// pairs and the on-demand fallback for pairs outside the known machine.
+func TestLinkCollectorOnTransition(t *testing.T) {
+	link := newTestLink(t)
+	r := NewRegistry()
+	c := NewLinkCollector(r, link)
+
+	c.OnTransition(0, phy.Healthy, phy.Degraded)
+	c.OnTransition(1, phy.Healthy, phy.Degraded)
+	c.OnTransition(0, phy.Degraded, phy.Failed)
+	want := r.Counter("mosaic_monitor_transitions_total",
+		"from", phy.Healthy.String(), "to", phy.Degraded.String())
+	if want.Value() != 2 {
+		t.Fatalf("healthy->degraded transitions %d, want 2", want.Value())
+	}
+	// A pair the state machine cannot produce today still lands in a
+	// counter rather than vanishing.
+	c.OnTransition(0, phy.Failed, phy.Healthy)
+	odd := r.Counter("mosaic_monitor_transitions_total",
+		"from", phy.Failed.String(), "to", phy.Healthy.String())
+	if odd.Value() != 1 {
+		t.Fatalf("unknown transition pair counted %d, want 1", odd.Value())
+	}
+}
+
+// TestMACCollectorSync checks delta folding, the windowed retx-rate math
+// (including the zero-denominator window), and bridge-level publication.
+func TestMACCollectorSync(t *testing.T) {
+	r := NewRegistry()
+	c := NewMACCollector(r)
+
+	s := MACStats{
+		PacketsQueued: 10, DataTx: 20, Retransmits: 5, AcksTx: 2,
+		DataRx: 18, Delivered: 9, Duplicates: 1, OutOfOrder: 1,
+		AcksRx: 15, CreditStalls: 3, Timeouts: 2,
+		InFlight: 4, QueueDepth: 6,
+		DeframeFrames: 40, CRCRejects: 2, HeaderRejects: 1, SkippedBytes: 7,
+	}
+	c.Sync("a", s)
+	if got := r.Counter("mosaic_mac_retransmits_total", "endpoint", "a").Value(); got != 5 {
+		t.Fatalf("retransmits %d, want 5", got)
+	}
+	// First window: 5 retransmits over 20 fresh + 5 retx data frames.
+	if got := r.Gauge("mosaic_mac_retx_rate", "endpoint", "a").Value(); got != 5.0/25.0 {
+		t.Fatalf("retx rate %v, want 0.2", got)
+	}
+	if got := r.Gauge("mosaic_mac_replay_occupancy", "endpoint", "a").Value(); got != 4 {
+		t.Fatalf("replay occupancy %v, want 4", got)
+	}
+
+	// Second sync with identical cumulative stats: every delta is zero, so
+	// counters hold and the retx-rate window divides by nothing -> 0.
+	c.Sync("a", s)
+	if got := r.Counter("mosaic_mac_retransmits_total", "endpoint", "a").Value(); got != 5 {
+		t.Fatalf("retransmits double-counted: %d", got)
+	}
+	if got := r.Gauge("mosaic_mac_retx_rate", "endpoint", "a").Value(); got != 0 {
+		t.Fatalf("empty-window retx rate %v, want 0", got)
+	}
+
+	// Third sync: only fresh data this window -> rate 0 with nonzero
+	// denominator; counters advance by the delta only.
+	s2 := s
+	s2.DataTx += 10
+	s2.Delivered += 10
+	c.Sync("a", s2)
+	if got := r.Gauge("mosaic_mac_retx_rate", "endpoint", "a").Value(); got != 0 {
+		t.Fatalf("clean-window retx rate %v, want 0", got)
+	}
+	if got := r.Counter("mosaic_mac_data_frames_tx_total", "endpoint", "a").Value(); got != 30 {
+		t.Fatalf("data_tx %d, want 30", got)
+	}
+
+	// A second endpoint gets its own handle set.
+	c.Sync("b", MACStats{DataTx: 1})
+	if got := r.Counter("mosaic_mac_data_frames_tx_total", "endpoint", "b").Value(); got != 1 {
+		t.Fatalf("endpoint b data_tx %d, want 1", got)
+	}
+
+	c.SyncBridge(2, 0.5)
+	c.SyncBridge(5, 1.0)
+	if got := r.Counter("mosaic_mac_renegotiations_total").Value(); got != 5 {
+		t.Fatalf("renegotiations %d, want 5", got)
+	}
+	if got := r.Gauge("mosaic_mac_capacity_fraction").Value(); got != 1.0 {
+		t.Fatalf("capacity fraction %v, want 1", got)
+	}
+}
+
+// TestWriteFile covers the file-dump twin of the HTTP endpoints: JSON when
+// the path says so, Prometheus text otherwise, and error propagation for
+// an unwritable path.
+func TestWriteFile(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mosaic_test_total").Add(7)
+	r.Gauge("mosaic_test_gauge").Set(2.5)
+	dir := t.TempDir()
+
+	jsonPath := filepath.Join(dir, "metrics.json")
+	if err := WriteFile(r, jsonPath); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("JSON dump does not parse: %v", err)
+	}
+
+	promPath := filepath.Join(dir, "metrics.prom")
+	if err := WriteFile(r, promPath); err != nil {
+		t.Fatal(err)
+	}
+	raw, err = os.ReadFile(promPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "mosaic_test_total 7") {
+		t.Fatalf("Prometheus dump missing counter line:\n%s", raw)
+	}
+
+	if err := WriteFile(r, filepath.Join(dir, "no-such-dir", "x.json")); err == nil {
+		t.Fatal("unwritable path did not error")
+	}
+}
+
+// TestHistogramBucketEdges pins the boundary convention (a value equal to
+// an upper bound lands in that bucket) and the bucket-list sanitation:
+// unsorted, duplicated, NaN and +Inf inputs.
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("mosaic_test_hist", []float64{5, 1, 2, 2, math.NaN(), math.Inf(1)})
+	h.Observe(1)   // == first upper bound: le="1"
+	h.Observe(1.5) // le="2"
+	h.Observe(5)   // == last finite bound: le="5"
+	h.Observe(6)   // overflow: +Inf only
+	if h.Count() != 4 || h.Sum() != 13.5 {
+		t.Fatalf("count=%d sum=%v, want 4 and 13.5", h.Count(), h.Sum())
+	}
+	text := r.PrometheusString()
+	for _, line := range []string{
+		`mosaic_test_hist_bucket{le="1"} 1`,
+		`mosaic_test_hist_bucket{le="2"} 2`,
+		`mosaic_test_hist_bucket{le="5"} 3`,
+		`mosaic_test_hist_bucket{le="+Inf"} 4`,
+		`mosaic_test_hist_count 4`,
+	} {
+		if !strings.Contains(text, line) {
+			t.Fatalf("exposition missing %q:\n%s", line, text)
+		}
+	}
+	// Re-registering with different buckets returns the existing histogram.
+	if got := r.Histogram("mosaic_test_hist", []float64{100}); got != h {
+		t.Fatal("histogram identity not stable across re-registration")
+	}
+}
+
+func TestGaugeSetBool(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("mosaic_test_bool")
+	g.SetBool(true)
+	if g.Value() != 1 {
+		t.Fatalf("SetBool(true) stored %v", g.Value())
+	}
+	g.SetBool(false)
+	if g.Value() != 0 {
+		t.Fatalf("SetBool(false) stored %v", g.Value())
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	for _, tc := range []struct {
+		v    float64
+		want string
+	}{
+		{math.Inf(1), "+Inf"},
+		{math.Inf(-1), "-Inf"},
+		{2.5, "2.5"},
+		{0, "0"},
+	} {
+		if got := formatFloat(tc.v); got != tc.want {
+			t.Fatalf("formatFloat(%v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[kind]string{
+		kindCounter: "counter", kindGauge: "gauge", kindHistogram: "histogram", kind(99): "unknown",
+	} {
+		if got := k.String(); got != want {
+			t.Fatalf("kind %d stringifies to %q, want %q", k, got, want)
+		}
+	}
+}
