@@ -42,14 +42,15 @@ determinism:
 	$(GO) test -run TestDeterminism -count=2 ./internal/phy/
 
 # Not part of check: the allocation-aware benchmarks. E10 exercises the
-# whole pipeline; the MAC round trip is pinned allocation-free.
+# whole pipeline; the MAC round trips (framing-only and the full
+# selective-repeat loopback) are pinned allocation-free.
 bench:
-	$(GO) test -bench 'BenchmarkE10EndToEnd$$|BenchmarkMACFrameRoundTrip$$' -benchmem -benchtime 3x -run '^$$' .
+	$(GO) test -bench 'BenchmarkE10EndToEnd$$|BenchmarkMACFrameRoundTrip$$|BenchmarkMACFrameRoundTripSR$$' -benchmem -benchtime 3x -run '^$$' .
 
 # Standalone MAC framing benchmark at a stable iteration count; the JSON
 # record (no gating here — bench-check gates) lands in BENCH_MAC.json.
 bench-mac:
-	$(GO) test -bench 'BenchmarkMACFrameRoundTrip$$' -benchmem -benchtime 100000x -run '^$$' . | \
+	$(GO) test -bench 'BenchmarkMACFrameRoundTrip$$|BenchmarkMACFrameRoundTripSR$$' -benchmem -benchtime 100000x -run '^$$' . | \
 		$(GO) run ./cmd/benchguard -out BENCH_MAC.json
 
 # CI bench-regression gate: run the baselined benchmarks, record

@@ -18,11 +18,13 @@
 //	linkmetricsd -addr :8080 -hazard 0.01   # faster wear for demos
 //	linkmetricsd -rounds 3                  # soak 3 rounds, then just serve
 //	linkmetricsd -mac -max-retx-rate 0.2    # MAC session soak; 503 on retransmit storms
+//	linkmetricsd -mac -arq sr -vc 3         # selective repeat over three QoS-classed VCs
 //
-// With -mac each round drives a full MAC session (CRC framing, go-back-N
-// LLR, capacity bridge) instead of a bare-PHY soak, adding the
-// mosaic_mac_* metric set, and /healthz also returns 503 while the LLR
-// retransmit rate (windowed, endpoint "a") exceeds -max-retx-rate.
+// With -mac each round drives a full MAC session (CRC framing, the
+// selected LLR discipline, capacity bridge) instead of a bare-PHY soak,
+// adding the mosaic_mac_* metric set (per-VC counters when -vc > 1), and
+// /healthz also returns 503 while the LLR retransmit rate (windowed,
+// endpoint "a") exceeds -max-retx-rate.
 //
 // The HTTP side never touches the link: scrapes read only the registry's
 // atomics, which the soak goroutine refreshes at superframe boundaries.
@@ -63,9 +65,16 @@ func main() {
 		spareAbove  = flag.Float64("spare-above", 1e-6, "proactive remap threshold (estimated BER)")
 		rounds      = flag.Int("rounds", 0, "soak rounds to run (0 = forever); serving continues after the last round")
 		macMode     = flag.Bool("mac", false, "soak a full MAC session per round (framing + LLR + bridge) instead of a bare PHY")
+		arqName     = flag.String("arq", "gbn", "LLR retransmission discipline with -mac: gbn|sr")
+		vcCount     = flag.Int("vc", 1, "virtual channels with -mac (classes assigned round-robin)")
 		maxRetxRate = flag.Float64("max-retx-rate", 0.5, "/healthz returns 503 while the windowed LLR retransmit rate exceeds this fraction (0 disables)")
 	)
 	flag.Parse()
+
+	arq, err := mac.ARQByName(*arqName)
+	if err != nil {
+		fatal(err)
+	}
 
 	fec, err := phy.FECByName(*fecName)
 	if err != nil {
@@ -138,6 +147,8 @@ func main() {
 		keepSpares:  *keepSpares,
 		spareAbove:  *spareAbove,
 		rounds:      *rounds,
+		arq:         arq,
+		vcs:         *vcCount,
 	}
 	if *macMode {
 		go macSoakLoop(newLink, reg, roundsTotal, replacements, params)
@@ -157,6 +168,8 @@ type soakParams struct {
 	hazard                                  float64
 	maintEvery, keepSpares, rounds          int
 	spareAbove                              float64
+	arq                                     mac.ARQKind
+	vcs                                     int
 }
 
 // soakLoop runs soak rounds forever (or for params.rounds), feeding reg.
@@ -211,6 +224,26 @@ func (nullSink) SetLinkCapacityFraction(int, float64) {}
 // that cannot run swaps in a fresh pair.
 func macSoakLoop(newLink func() *phy.Link, reg *telemetry.Registry,
 	roundsTotal, replacements *telemetry.Counter, p soakParams) {
+	var pc mac.PairConfig
+	pc.Endpoint.ARQ = p.arq
+	pc.Endpoint.VCs = p.vcs
+	if p.vcs > 0 {
+		classes := make([]uint8, p.vcs)
+		for vc := range classes {
+			classes[vc] = uint8(vc % mac.NumClasses)
+		}
+		pc.Endpoint.VCClass = classes
+	}
+	var vcPackets []int
+	if p.vcs > 1 {
+		vcPackets = make([]int, p.vcs)
+		for vc := range vcPackets {
+			vcPackets[vc] = p.frames / p.vcs
+			if vc < p.frames%p.vcs {
+				vcPackets[vc]++
+			}
+		}
+	}
 	fwd, rev := newLink(), newLink()
 	for round := 0; p.rounds == 0 || round < p.rounds; round++ {
 		var sched faultinject.Schedule
@@ -223,10 +256,12 @@ func macSoakLoop(newLink func() *phy.Link, reg *telemetry.Registry,
 			Engine:       eng,
 			Fwd:          fwd,
 			Rev:          rev,
+			Pair:         pc,
 			Schedule:     sched,
 			Superframes:  p.superframes,
 			Interval:     1e-5,
 			PacketsPerSF: p.frames,
+			VCPackets:    vcPackets,
 			PacketLen:    p.frameLen,
 			Seed:         p.seed,
 			Bridge:       mac.NewBridge(fwd, nullSink{}, 0, eng),

@@ -6,6 +6,8 @@
 //	linksim -length 50 -frames 500 -run      # bit-true traffic simulation
 //	linksim -fec kp4 -run                    # switch the per-channel FEC
 //	linksim -length 50 -mac                  # MAC-framed traffic (CRC framing + go-back-N LLR)
+//	linksim -length 50 -mac -arq sr          # selective-repeat retransmission instead
+//	linksim -length 50 -mac -arq sr -vc 3    # three QoS-classed virtual channels
 //	linksim -length 45 -eye                  # render the eye diagram
 //	linksim -sweep                           # reach sweep table
 //	linksim -config design.json -run         # load a JSON design
@@ -39,7 +41,9 @@ func main() {
 		eye      = flag.Bool("eye", false, "render the channel eye diagram")
 		cfgPath  = flag.String("config", "", "JSON design config (overrides other design flags)")
 		par      = flag.Int("par", 0, "PHY lane workers for -run (0 = all cores, 1 = serial; same results either way)")
-		macRun   = flag.Bool("mac", false, "run MAC-framed traffic (CRC framing + go-back-N LLR) over a full-duplex pair")
+		macRun   = flag.Bool("mac", false, "run MAC-framed traffic (CRC framing + LLR) over a full-duplex pair")
+		arqName  = flag.String("arq", "gbn", "LLR retransmission discipline with -mac: gbn|sr")
+		vcCount  = flag.Int("vc", 1, "virtual channels with -mac (classes assigned round-robin)")
 	)
 	flag.Parse()
 
@@ -75,15 +79,20 @@ func main() {
 	d.Workers = *par
 	report(d, *seed, *eye, *run, *frames, *sweep)
 	if *macRun {
-		macDemo(d, *seed, *frames)
+		macDemo(d, *seed, *frames, *arqName, *vcCount)
 	}
 }
 
 // macDemo pushes client packets through a full-duplex MAC pair built on
-// the designed link: CRC framing, idle fill, and the go-back-N LLR all
-// run over the bit-true PHY, so residual post-FEC errors surface as
-// retransmissions instead of lost frames.
-func macDemo(d core.Design, seed int64, packets int) {
+// the designed link: CRC framing, idle fill, and the selected LLR
+// discipline (go-back-N or selective repeat, over one or more virtual
+// channels) all run over the bit-true PHY, so residual post-FEC errors
+// surface as retransmissions instead of lost frames.
+func macDemo(d core.Design, seed int64, packets int, arqName string, vcs int) {
+	arq, err := mac.ARQByName(arqName)
+	if err != nil {
+		fatal(err)
+	}
 	fwd, err := d.BuildPHY()
 	if err != nil {
 		fatal(err)
@@ -94,9 +103,15 @@ func macDemo(d core.Design, seed int64, packets int) {
 	if err != nil {
 		fatal(err)
 	}
+	classes := make([]uint8, vcs)
+	for vc := range classes {
+		classes[vc] = uint8(vc % mac.NumClasses)
+	}
 	delivered := 0
 	pair, err := mac.NewPair(fwd, rev, mac.PairConfig{
-		Endpoint: mac.Config{Window: 64, RetxTimeout: 2, MaxPayload: 1500, PayloadBudget: 16 * 1513},
+		Endpoint: mac.Config{Window: 64, RetxTimeout: 2, MaxPayload: 1500,
+			PayloadBudget: 16 * (1500 + mac.OverheadV2),
+			ARQ:           arq, VCs: vcs, VCClass: classes},
 	}, nil, func([]byte) { delivered++ })
 	if err != nil {
 		fatal(err)
@@ -107,7 +122,7 @@ func macDemo(d core.Design, seed int64, packets int) {
 	for ; delivered < packets && ticks < 8*packets; ticks++ {
 		for k := 0; k < 8 && sent < packets; k++ {
 			rng.Read(payload)
-			if err := pair.A.Send(payload); err != nil {
+			if err := pair.A.SendVC(sent%vcs, payload); err != nil {
 				fatal(err)
 			}
 			sent++
@@ -117,11 +132,19 @@ func macDemo(d core.Design, seed int64, packets int) {
 		}
 	}
 	a, b := pair.A.Stats(), pair.B.Stats()
-	fmt.Printf("\nmac exchange: %d/%d packets delivered in %d superframes\n", delivered, sent, ticks)
+	fmt.Printf("\nmac exchange (%s, %d vc): %d/%d packets delivered in %d superframes\n",
+		arq, vcs, delivered, sent, ticks)
 	fmt.Printf("llr: %d data tx, %d retransmits, %d timeouts, %d credit stalls\n",
 		a.DataTx, a.Retransmits, a.Timeouts, a.CreditStalls)
 	fmt.Printf("deframer: %d frames, %d crc rejects, %d resync bytes skipped\n",
 		b.Deframe.Frames, b.Deframe.CRCRejects, b.Deframe.SkippedBytes)
+	if vcs > 1 {
+		for vc := 0; vc < pair.B.NumVCs(); vc++ {
+			v := pair.B.VCSnapshot(vc)
+			fmt.Printf("vc %d (class %d): %d delivered, %d reordered\n",
+				vc, v.Class, v.Delivered, v.Reordered)
+		}
+	}
 }
 
 func report(d core.Design, seed int64, eye, run bool, frames int, sweep bool) {

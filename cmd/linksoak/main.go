@@ -12,12 +12,15 @@
 //	linksoak -json                            # machine-readable event log
 //	linksoak -metrics m.prom                  # dump a telemetry snapshot after the soak
 //	linksoak -mac                             # soak a full MAC session (framing + LLR + bridge)
+//	linksoak -mac -arq sr -vc 3               # selective repeat over three QoS-classed VCs
 //
 // With -mac the schedule is replayed against the forward link of a
 // full-duplex MAC pair instead of a bare PHY: client packets cross the
 // CRC-framed LLR while the bridge renegotiates capacity as sparing
 // consumes lanes. -frames/-framesize become client packets per
-// superframe and packet length.
+// superframe and packet length; -arq selects the retransmission
+// discipline and -vc the virtual-channel count (classes assigned
+// round-robin, per-superframe packets split evenly across VCs).
 //
 // A fixed -seed and schedule produce a byte-identical event log at any
 // -workers value. Schedule files are JSON:
@@ -65,6 +68,8 @@ func main() {
 		jsonOut     = flag.Bool("json", false, "emit the result as JSON")
 		metricsPath = flag.String("metrics", "", "write a telemetry snapshot to this file after the soak (.json suffix = JSON, else Prometheus text); see cmd/linkmetricsd for live HTTP exposition")
 		macMode     = flag.Bool("mac", false, "soak a full MAC session (CRC framing + LLR + capacity bridge) instead of a bare PHY")
+		arqName     = flag.String("arq", "gbn", "LLR retransmission discipline with -mac: gbn|sr")
+		vcCount     = flag.Int("vc", 1, "virtual channels with -mac (classes assigned round-robin)")
 	)
 	flag.Parse()
 
@@ -115,7 +120,8 @@ func main() {
 	}
 
 	if *macMode {
-		runMACSoak(link, cfg, sched, *superframes, *frames, *frameLen, *seed, reg, *metricsPath, *jsonOut)
+		runMACSoak(link, cfg, sched, *superframes, *frames, *frameLen, *seed,
+			*arqName, *vcCount, reg, *metricsPath, *jsonOut)
 		return
 	}
 
@@ -170,28 +176,57 @@ type printSink struct{}
 func (printSink) SetLinkCapacityFraction(int, float64) {}
 
 // runMACSoak replays the schedule against the forward link of a
-// full-duplex MAC pair: client packets cross the CRC-framed go-back-N
-// LLR every superframe while reactive sparing remaps failures and the
-// bridge renegotiates capacity. The event log is byte-identical at any
-// -workers value, like the bare-PHY soak.
+// full-duplex MAC pair: client packets cross the CRC-framed LLR (the
+// selected ARQ discipline, split across the configured virtual
+// channels) every superframe while reactive sparing remaps failures and
+// the bridge renegotiates capacity. The event log is byte-identical at
+// any -workers value, like the bare-PHY soak.
 func runMACSoak(fwd *phy.Link, cfg phy.Config, sched faultinject.Schedule,
-	superframes, packets, packetLen int, seed int64,
+	superframes, packets, packetLen int, seed int64, arqName string, vcs int,
 	reg *telemetry.Registry, metricsPath string, jsonOut bool) {
+	arq, err := mac.ARQByName(arqName)
+	if err != nil {
+		fatal(err)
+	}
 	revCfg := cfg
 	revCfg.Seed = cfg.Seed + 1
 	rev, err := phy.New(revCfg)
 	if err != nil {
 		fatal(err)
 	}
+	var pc mac.PairConfig
+	pc.Endpoint.ARQ = arq
+	pc.Endpoint.VCs = vcs
+	if vcs > 0 {
+		classes := make([]uint8, vcs)
+		for vc := range classes {
+			classes[vc] = uint8(vc % mac.NumClasses)
+		}
+		pc.Endpoint.VCClass = classes
+	}
+	// Split the per-superframe packet load evenly across VCs (the first
+	// packets%vcs channels carry one extra).
+	var vcPackets []int
+	if vcs > 1 {
+		vcPackets = make([]int, vcs)
+		for vc := range vcPackets {
+			vcPackets[vc] = packets / vcs
+			if vc < packets%vcs {
+				vcPackets[vc]++
+			}
+		}
+	}
 	eng := sim.NewEngine(seed)
 	sess, err := mac.NewSession(mac.SessionConfig{
 		Engine:       eng,
 		Fwd:          fwd,
 		Rev:          rev,
+		Pair:         pc,
 		Schedule:     sched,
 		Superframes:  superframes,
 		Interval:     1e-5,
 		PacketsPerSF: packets,
+		VCPackets:    vcPackets,
 		PacketLen:    packetLen,
 		Seed:         seed,
 		Bridge:       mac.NewBridge(fwd, printSink{}, 0, eng),
@@ -215,8 +250,8 @@ func runMACSoak(fwd *phy.Link, cfg phy.Config, sched faultinject.Schedule,
 		}
 		return
 	}
-	fmt.Printf("mac soak: %d+%d channels, %s FEC, %d superframes x %d packets x %dB, seed %d\n",
-		cfg.Lanes, cfg.Spares, cfg.FEC.Name(), superframes, packets, packetLen, seed)
+	fmt.Printf("mac soak: %d+%d channels, %s FEC, %s arq, %d vc, %d superframes x %d packets x %dB, seed %d\n",
+		cfg.Lanes, cfg.Spares, cfg.FEC.Name(), arq, vcs, superframes, packets, packetLen, seed)
 	for _, e := range sched.Events {
 		fmt.Printf("scheduled: %v\n", e)
 	}

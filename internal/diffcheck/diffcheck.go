@@ -13,8 +13,12 @@
 //	rs_decode  — BM/Chien/Forney decoder vs brute-force subset search
 //	framer     — channel framer hunt/FEC/CRC vs field-by-field reference
 //	striper    — stripe index arithmetic vs explicit unit dealing
-//	mac_frame  — MAC deframer vs naive scanner
+//	mac_frame  — MAC deframer (v1 and v2 headers) vs naive scanner
 //	mac_llr    — go-back-N endpoint vs lockstep reference state machine
+//	mac_sr     — selective-repeat endpoint (sack bitmaps, bounded reorder
+//	             buffer) vs a naive map-based twin
+//	mac_vc     — multi-virtual-channel endpoint (per-VC seq/ack spaces,
+//	             weighted round-robin QoS) vs the same twin
 //	pipeline   — full Exchange vs serial reference pipeline, across
 //	             worker counts, noise, skew, dead channels and sparing
 //
@@ -35,7 +39,7 @@ const DefaultSize = 8
 // StageNames lists every differential stage in pipeline order.
 var StageNames = []string{
 	"scrambler", "rs_encode", "rs_decode", "framer",
-	"striper", "mac_frame", "mac_llr", "pipeline",
+	"striper", "mac_frame", "mac_llr", "mac_sr", "mac_vc", "pipeline",
 }
 
 // Options configures a differential run.
@@ -144,6 +148,8 @@ var stageFuncs = map[string]stageFunc{
 	"striper":   diffStriper,
 	"mac_frame": diffMACFrame,
 	"mac_llr":   diffMACLLR,
+	"mac_sr":    diffMACSR,
+	"mac_vc":    diffMACVC,
 	"pipeline":  diffPipeline,
 }
 

@@ -109,12 +109,16 @@ func macStatsToRef(s mac.Stats) refmodel.MACStats {
 		DataRx:        s.DataRx,
 		Delivered:     s.Delivered,
 		Duplicates:    s.Duplicates,
-		OutOfOrder:    s.OutOfOrder,
+		Discarded:     s.Discarded,
+		Reordered:     s.Reordered,
 		AcksRx:        s.AcksRx,
+		SacksRx:       s.SacksRx,
+		UnknownVC:     s.UnknownVC,
 		CreditStalls:  s.CreditStalls,
 		Timeouts:      s.Timeouts,
 		InFlight:      s.InFlight,
 		QueueDepth:    s.QueueDepth,
+		ReorderDepth:  s.ReorderDepth,
 		Deframe: refmodel.MACDeframeStats{
 			Frames:        s.Deframe.Frames,
 			PayloadBytes:  s.Deframe.PayloadBytes,

@@ -252,7 +252,12 @@ func diffMACFrame(seed int64, caseIdx, size, _ int) string {
 			junk := make([]byte, rng.Intn(20))
 			rng.Read(junk)
 			buf = append(buf, junk...)
-		default: // a real frame
+		case 2: // a real v2 frame with a VC byte
+			p := make([]byte, rng.Intn(maxPayload+8)) // sometimes over budget
+			rng.Read(p)
+			buf = mac.AppendFrameVC(buf, byte(rng.Intn(8)), byte(rng.Intn(mac.MaxVCs)),
+				uint16(rng.Intn(1<<16)), uint16(rng.Intn(1<<16)), p)
+		default: // a real v1 frame
 			p := make([]byte, rng.Intn(maxPayload+8)) // sometimes over budget
 			rng.Read(p)
 			buf = mac.AppendFrame(buf, byte(rng.Intn(4)), uint16(rng.Intn(1<<16)), uint16(rng.Intn(1<<16)), p)
@@ -285,7 +290,7 @@ func diffMACFrame(seed int64, caseIdx, size, _ int) string {
 	}
 	for i := range optFrames {
 		o, r := optFrames[i], refFrames[i]
-		if o.Flags != r.Flags || o.Seq != r.Seq || o.Ack != r.Ack || !bytes.Equal(o.Payload, r.Payload) {
+		if o.Flags != r.Flags || o.VC != r.VC || o.Seq != r.Seq || o.Ack != r.Ack || !bytes.Equal(o.Payload, r.Payload) {
 			return fmt.Sprintf("deframed frame %d differs", i)
 		}
 	}

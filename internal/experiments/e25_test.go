@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// E25's table embeds the multi-VC session's event-log hash in its
+// notes, so byte-identical rendered tables across PHY worker-pool sizes
+// prove the ARQ engines — including the SR reorder buffer and the
+// weighted VC scheduler — are deterministic regardless of parallelism.
+func TestE25DeterministicAcrossWorkers(t *testing.T) {
+	var want string
+	for _, w := range []int{1, 3, 0} {
+		tab, err := e25WithWorkers(5, w)
+		got := render(t, tab, err)
+		if want == "" {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("workers=%d table diverged:\n%s\nwant:\n%s", w, got, want)
+		}
+	}
+
+	row := func(name string) []string {
+		for _, l := range strings.Split(want, "\n") {
+			if strings.Contains(l, name) {
+				return strings.Fields(l)
+			}
+		}
+		t.Fatalf("missing scenario row %q:\n%s", name, want)
+		return nil
+	}
+	// Columns: scenario queued delivered goodput retx timeouts stalls disc reord
+	gbn, sr := row("gbn-1vc"), row("sr-1vc")
+	num := func(f []string, i int) int {
+		n, err := strconv.Atoi(f[i])
+		if err != nil {
+			t.Fatalf("column %d of %v is not a count: %v", i, f, err)
+		}
+		return n
+	}
+
+	// The acceptance claim: under the burst-loss schedule, selective
+	// repeat delivers strictly more than go-back-N at the same offered
+	// load — and does it with fewer retransmissions.
+	if num(sr, 2) <= num(gbn, 2) {
+		t.Errorf("SR delivered %s, GBN %s — SR must be strictly higher:\n%s", sr[2], gbn[2], want)
+	}
+	if num(sr, 4) >= num(gbn, 4) {
+		t.Errorf("SR retransmitted %s, GBN %s — SR must replay less:\n%s", sr[4], gbn[4], want)
+	}
+	// GBN discards the ahead-of-window survivors it cannot buffer; SR
+	// reorders them instead of throwing them away.
+	if num(gbn, 8) != 0 {
+		t.Errorf("GBN reordered %s frames without a reorder buffer:\n%s", gbn[8], want)
+	}
+	if num(sr, 8) == 0 {
+		t.Errorf("SR run never exercised the reorder buffer:\n%s", want)
+	}
+
+	qos := row("sr-3vc-qos")
+	if num(qos, 2) == 0 {
+		t.Errorf("multi-VC run delivered nothing:\n%s", want)
+	}
+	if !strings.Contains(want, "sha256[:8]=") {
+		t.Errorf("notes lost the mac event-log hash:\n%s", want)
+	}
+	if !strings.Contains(want, "vc0(class 0)=") {
+		t.Errorf("notes lost the per-VC delivery breakdown:\n%s", want)
+	}
+}

@@ -174,6 +174,12 @@ func init() {
 			Gen:   E23MACRenegotiation,
 		},
 		{
+			ID:    "E25",
+			Title: "ARQ discipline under burst loss + incast: go-back-N vs selective repeat vs multi-VC QoS",
+			Claim: "a wide-and-slow link loses channels in bursts, not all at once — selective repeat retransmits only what died, and QoS-classed virtual channels keep priority traffic flowing through incast",
+			Gen:   E25ARQGoodput,
+		},
+		{
 			ID:    "A1",
 			Title: "ablation: oversampled core groups vs single-core mapping",
 			Claim: "design choice: a channel = a group of cores, so alignment is coarse",

@@ -13,6 +13,15 @@ type CapacitySink interface {
 	SetLinkCapacityFraction(linkID int, frac float64)
 }
 
+// VCCapacitySink receives the per-virtual-channel breakdown of a
+// renegotiation: each VC's share of the degraded link, split by QoS
+// class weight (the same weights the MAC scheduler uses, so the network
+// layer's view of priority matches what the wire actually does).
+// netsim.VCLinkMap satisfies it.
+type VCCapacitySink interface {
+	SetVCCapacityFraction(linkID, vc int, frac float64)
+}
+
 // Bridge is the capacity-renegotiation half of the MAC: it watches a
 // PHY link's health monitor and republishes the link's usable width
 // into a flow simulator whenever sparing consumes lanes. This replaces
@@ -37,6 +46,14 @@ type Bridge struct {
 	pending  bool
 
 	renegotiations uint64
+
+	// VCSink, when non-nil, additionally receives each VC's weighted
+	// share of every renegotiated fraction (set alongside VCClasses
+	// before Install).
+	VCSink VCCapacitySink
+	// VCClasses assigns the QoS class per VC for the VCSink split; nil
+	// with a non-nil VCSink means one class-0 VC.
+	VCClasses []uint8
 
 	// OnRenegotiate, when non-nil, observes each published change (for
 	// event logs and telemetry). Called after the sink is updated.
@@ -94,8 +111,32 @@ func (b *Bridge) sync() {
 	b.lastFrac = frac
 	b.renegotiations++
 	b.sink.SetLinkCapacityFraction(b.linkID, frac)
+	b.publishVCs(frac)
 	if b.OnRenegotiate != nil {
 		b.OnRenegotiate(b.eng.Now(), lanes, frac)
+	}
+}
+
+// publishVCs splits a renegotiated link fraction across the virtual
+// channels in proportion to their QoS class weights — the share each VC
+// would win from the MAC's weighted scheduler under full load.
+func (b *Bridge) publishVCs(frac float64) {
+	if b.VCSink == nil {
+		return
+	}
+	classes := b.VCClasses
+	if len(classes) == 0 {
+		classes = []uint8{0}
+	}
+	total := 0
+	for _, class := range classes {
+		total += ClassWeight(class)
+	}
+	if total == 0 {
+		return
+	}
+	for vc, class := range classes {
+		b.VCSink.SetVCCapacityFraction(b.linkID, vc, frac*float64(ClassWeight(class))/float64(total))
 	}
 }
 

@@ -21,7 +21,7 @@ import (
 // exhaustion, and bridge renegotiations.
 
 // goldenSessionSHA is sha256[:8] of the scenario's joined log + summary.
-const goldenSessionSHA = "d244b416557e06b0"
+const goldenSessionSHA = "d02225b7ded5020b"
 
 // runGoldenSession executes the pinned scenario. reg may be nil; the
 // golden hash must not depend on it (telemetry is write-only).

@@ -32,24 +32,42 @@ import (
 	"hash/crc32"
 )
 
-// Wire format, all integers big-endian:
+// Wire format, all integers big-endian. Two header versions share the
+// magic and trailer; the version rides in the flags byte:
 //
-//	magic0 magic1 | flags | seq u16 | ack u16 | length u16 | payload | crc32 u32
+//	v1: magic0 magic1 | flags      | seq u16 | ack u16 | length u16 | payload | crc32 u32
+//	v2: magic0 magic1 | flags+V2 | vc u8 | seq u16 | ack u16 | length u16 | payload | crc32 u32
 //
-// The CRC (IEEE 802.3 polynomial) covers header and payload. Idle fill
-// between frames is IdleByte, chosen to differ from magic0 so the
-// deframer skips it in one compare per byte.
+// v1 is the legacy single-virtual-channel format; v2 inserts one VC byte
+// after the flags so each virtual channel carries its own sequence and
+// ack space. The CRC (IEEE 802.3 polynomial) covers header and payload.
+// Idle fill between frames is IdleByte, chosen to differ from magic0 so
+// the deframer skips it in one compare per byte.
 const (
 	Magic0   = 0xD5
 	Magic1   = 0x4D
 	IdleByte = 0x00
 
-	// HeaderLen is magic(2) + flags(1) + seq(2) + ack(2) + length(2).
+	// HeaderLen is the v1 header: magic(2) + flags(1) + seq(2) + ack(2) + length(2).
 	HeaderLen = 9
-	// Overhead is the full per-frame cost: header plus CRC32 trailer.
+	// HeaderLenV2 adds the VC byte between flags and seq.
+	HeaderLenV2 = 10
+	// Overhead is the full v1 per-frame cost: header plus CRC32 trailer.
 	Overhead = HeaderLen + 4
-	// MinFrameLen is the shortest possible frame (empty payload).
+	// OverheadV2 is the full v2 per-frame cost.
+	OverheadV2 = HeaderLenV2 + 4
+	// MinFrameLen is the shortest possible frame (empty v1 payload).
 	MinFrameLen = Overhead
+
+	// MaxVCs is the number of virtual channels the v2 header can name
+	// (the VC field is one byte).
+	MaxVCs = 256
+
+	// SackBytes is the selective-ack bitmap length carried as the
+	// payload of a FlagSack pure-ack frame: bit k covers sequence
+	// Ack+1+k, so the bitmap spans the 64 frames after the cumulative
+	// ack.
+	SackBytes = 8
 
 	// DefaultMaxPayload bounds the payload length the deframer will
 	// accept; longer length fields are header-rejected (a corrupted
@@ -61,24 +79,49 @@ const (
 const (
 	FlagData byte = 1 << 0 // frame carries a client payload at Seq
 	FlagAck  byte = 1 << 1 // Ack field holds the next expected rx seq
+	FlagSack byte = 1 << 2 // payload is a SackBytes selective-ack bitmap (non-data frames only)
+	FlagV2   byte = 1 << 3 // header carries a VC byte (frame header v2)
 )
 
 // Frame is one decoded MAC frame. Payload aliases the deframed buffer
 // and is only valid until the next Deframe call.
 type Frame struct {
 	Flags byte
+	VC    byte // virtual channel (0 for v1 frames)
 	Seq   uint16
 	Ack   uint16
 	// Payload is a view into the input buffer, not a copy.
 	Payload []byte
 }
 
-// AppendFrame appends one encoded MAC frame to dst and returns the
+// Version returns the frame header version (1 or 2) encoded in flags.
+func (f Frame) Version() int {
+	if f.Flags&FlagV2 != 0 {
+		return 2
+	}
+	return 1
+}
+
+// AppendFrame appends one encoded v1 MAC frame to dst and returns the
 // extended slice. It never allocates when dst has capacity. The payload
 // must be shorter than 65536 bytes (the length field is u16).
 func AppendFrame(dst []byte, flags byte, seq, ack uint16, payload []byte) []byte {
 	start := len(dst)
-	dst = append(dst, Magic0, Magic1, flags,
+	dst = append(dst, Magic0, Magic1, flags&^FlagV2,
+		byte(seq>>8), byte(seq),
+		byte(ack>>8), byte(ack),
+		byte(len(payload)>>8), byte(len(payload)))
+	dst = append(dst, payload...)
+	crc := crc32.ChecksumIEEE(dst[start:])
+	return append(dst, byte(crc>>24), byte(crc>>16), byte(crc>>8), byte(crc))
+}
+
+// AppendFrameVC appends one encoded v2 MAC frame (FlagV2 is forced on)
+// carrying the given virtual channel. Like AppendFrame it never
+// allocates when dst has capacity.
+func AppendFrameVC(dst []byte, flags byte, vc byte, seq, ack uint16, payload []byte) []byte {
+	start := len(dst)
+	dst = append(dst, Magic0, Magic1, flags|FlagV2, vc,
 		byte(seq>>8), byte(seq),
 		byte(ack>>8), byte(ack),
 		byte(len(payload)>>8), byte(len(payload)))
@@ -114,7 +157,8 @@ type Deframer struct {
 // Frame payloads alias buf. The scan is single-pass in the common case
 // (each valid frame is consumed whole) and resynchronizes byte-by-byte
 // after any reject, so it never panics and never emits a frame whose
-// CRC did not check out.
+// CRC did not check out. Both header versions are accepted: the FlagV2
+// bit in the flags byte selects the v2 layout with its VC byte.
 func (d *Deframer) Deframe(buf []byte, emit func(Frame)) {
 	maxPayload := d.MaxPayload
 	if maxPayload <= 0 {
@@ -136,13 +180,26 @@ func (d *Deframer) Deframe(buf []byte, emit func(Frame)) {
 			i++
 			continue
 		}
-		n := int(binary.BigEndian.Uint16(buf[i+7 : i+9]))
+		flags := buf[i+2]
+		hdr := HeaderLen
+		var vc byte
+		if flags&FlagV2 != 0 {
+			hdr = HeaderLenV2
+			if i+hdr+4 > len(buf) {
+				// The longer v2 header itself runs past the buffer.
+				d.Stats.Truncated++
+				i++
+				continue
+			}
+			vc = buf[i+3]
+		}
+		n := int(binary.BigEndian.Uint16(buf[i+hdr-2 : i+hdr]))
 		if n > maxPayload {
 			d.Stats.HeaderRejects++
 			i++
 			continue
 		}
-		end := i + HeaderLen + n + 4
+		end := i + hdr + n + 4
 		if end > len(buf) {
 			// Could be a frame cut off by the superframe boundary, or
 			// corruption that inflated the length; advance and rescan so
@@ -160,10 +217,11 @@ func (d *Deframer) Deframe(buf []byte, emit func(Frame)) {
 		d.Stats.Frames++
 		d.Stats.PayloadBytes += uint64(n)
 		emit(Frame{
-			Flags:   buf[i+2],
-			Seq:     binary.BigEndian.Uint16(buf[i+3 : i+5]),
-			Ack:     binary.BigEndian.Uint16(buf[i+5 : i+7]),
-			Payload: buf[i+HeaderLen : i+HeaderLen+n],
+			Flags:   flags,
+			VC:      vc,
+			Seq:     binary.BigEndian.Uint16(buf[i+hdr-6 : i+hdr-4]),
+			Ack:     binary.BigEndian.Uint16(buf[i+hdr-4 : i+hdr-2]),
+			Payload: buf[i+hdr : i+hdr+n],
 		})
 		i = end
 	}

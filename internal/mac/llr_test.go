@@ -208,8 +208,8 @@ func TestLLROutOfOrderDrop(t *testing.T) {
 	if delivered != 0 {
 		t.Fatalf("delivered %d out-of-order packets", delivered)
 	}
-	if s := b.Stats(); s.OutOfOrder != 2 {
-		t.Fatalf("out-of-order = %d, want 2", s.OutOfOrder)
+	if s := b.Stats(); s.Discarded != 2 {
+		t.Fatalf("discarded = %d, want 2", s.Discarded)
 	}
 	// Now the missing frame arrives: only seq 0 is deliverable (1 and 2
 	// were dropped, the sender will replay them).

@@ -1,0 +1,53 @@
+package mac
+
+// QoS classes. Every virtual channel is assigned one class; the
+// scheduler shares superframe budget across VCs in proportion to the
+// class weights, so a high-priority VC gets more service slots per cycle
+// but a low-priority VC is never starved (weighted round-robin, not
+// strict priority).
+const (
+	// NumClasses is how many priority classes exist: 0 is highest.
+	NumClasses = 3
+)
+
+// classWeights maps a QoS class to its scheduler weight: the number of
+// service slots the class contributes per WRR cycle. Class 0 (highest)
+// gets 4x the slots of class 2 (lowest).
+var classWeights = [NumClasses]int{4, 2, 1}
+
+// ClassWeight returns the scheduler weight of a QoS class (0 for an
+// out-of-range class, which Config.Validate rejects anyway).
+func ClassWeight(class uint8) int {
+	if int(class) >= NumClasses {
+		return 0
+	}
+	return classWeights[class]
+}
+
+// buildServiceOrder precomputes the deterministic weighted round-robin
+// service sequence over the VCs given their per-VC classes. The sequence
+// interleaves VCs round by round: round r includes every VC whose weight
+// exceeds r, so for classes [0,1,2] (weights 4,2,1) the cycle is
+// 0 1 2 0 1 0 0 — VC 0 is serviced four times per cycle, VC 2 once.
+// One fresh frame is emitted per service slot, so budget is shared in
+// frame-count proportion to the weights and no VC can starve.
+func buildServiceOrder(classes []uint8) []int {
+	maxW := 0
+	for _, c := range classes {
+		if w := ClassWeight(c); w > maxW {
+			maxW = w
+		}
+	}
+	var seq []int
+	for r := 0; r < maxW; r++ {
+		for vc, c := range classes {
+			if r < ClassWeight(c) {
+				seq = append(seq, vc)
+			}
+		}
+	}
+	if len(seq) == 0 {
+		seq = []int{0}
+	}
+	return seq
+}

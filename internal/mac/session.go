@@ -27,9 +27,20 @@ type SessionConfig struct {
 
 	Superframes  int      // ticks to run (required > 0)
 	Interval     sim.Time // simulated time between ticks (required > 0)
-	PacketsPerSF int      // client packets queued at A per tick (required > 0)
+	PacketsPerSF int      // client packets queued at A per tick (on VC 0)
 	PacketLen    int      // bytes per client packet (required > 0)
 	Seed         int64    // client payload seed
+
+	// VCPackets, when non-empty, replaces PacketsPerSF: VCPackets[vc]
+	// client packets are queued on each virtual channel per tick. Length
+	// must not exceed the endpoint VC count.
+	VCPackets []int
+
+	// BurstEvery/BurstPackets model periodic incast: every BurstEvery
+	// superframes (when > 0), BurstPackets extra packets land on VC 0 in
+	// the same tick, on top of the steady traffic.
+	BurstEvery   int
+	BurstPackets int
 
 	// Bridge, when non-nil, is Installed on Fwd's monitor before the
 	// first tick; its renegotiations land in the event log.
@@ -78,6 +89,11 @@ type Result struct {
 	A Stats `json:"a"` // sender-side endpoint
 	B Stats `json:"b"` // receiver-side endpoint
 
+	// AVCs/BVCs break the endpoint counters down per virtual channel
+	// (index = VC number).
+	AVCs []VCStats `json:"a_vcs,omitempty"`
+	BVCs []VCStats `json:"b_vcs,omitempty"`
+
 	LanesStart     int     `json:"lanes_start"`
 	LanesEnd       int     `json:"lanes_end"`
 	SparesEnd      int     `json:"spares_end"`
@@ -95,27 +111,51 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	if cfg.Superframes <= 0 || cfg.Interval <= 0 {
 		return nil, errors.New("mac: need Superframes > 0 and Interval > 0")
 	}
-	if cfg.PacketsPerSF <= 0 || cfg.PacketLen <= 0 {
-		return nil, errors.New("mac: need PacketsPerSF > 0 and PacketLen > 0")
+	perTick := cfg.PacketsPerSF
+	if len(cfg.VCPackets) > 0 {
+		perTick = 0
+		for vc, n := range cfg.VCPackets {
+			if n < 0 {
+				return nil, fmt.Errorf("mac: VCPackets[%d] = %d < 0", vc, n)
+			}
+			perTick += n
+		}
+	}
+	if perTick <= 0 || cfg.PacketLen <= 0 {
+		return nil, errors.New("mac: need PacketsPerSF (or VCPackets) > 0 and PacketLen > 0")
+	}
+	if cfg.BurstEvery < 0 || cfg.BurstPackets < 0 {
+		return nil, errors.New("mac: BurstEvery/BurstPackets must be >= 0")
 	}
 	if err := cfg.Schedule.Validate(); err != nil {
 		return nil, err
 	}
 	pc := cfg.Pair
+	vcs := pc.Endpoint.VCs
+	if vcs == 0 {
+		vcs = 1
+	}
+	if len(cfg.VCPackets) > vcs {
+		return nil, fmt.Errorf("mac: VCPackets names %d VCs but the endpoint has %d", len(cfg.VCPackets), vcs)
+	}
 	if pc.Endpoint.MaxPayload <= 0 {
 		pc.Endpoint.MaxPayload = cfg.PacketLen
 	}
 	if pc.Endpoint.Window <= 0 {
-		w := 4 * cfg.PacketsPerSF
+		w := 4 * perTick
 		if w < DefaultWindow {
 			w = DefaultWindow
 		}
 		pc.Endpoint.Window = w
 	}
+	burst := 0
+	if cfg.BurstEvery > 0 {
+		burst = cfg.BurstPackets
+	}
 	if pc.Endpoint.PayloadBudget <= 0 {
-		// Room for one tick of fresh data plus a full retransmission
-		// round plus a pure ack.
-		pc.Endpoint.PayloadBudget = (2*cfg.PacketsPerSF + 1) * (cfg.PacketLen + Overhead)
+		// Room for one tick of fresh data (incl. an incast burst) plus a
+		// full retransmission round plus a pure ack.
+		pc.Endpoint.PayloadBudget = (2*(perTick+burst) + 1) * (cfg.PacketLen + pc.Endpoint.wireOverhead())
 	}
 
 	s := &Session{
@@ -135,9 +175,10 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	s.pair = pair
 
 	// Fixed client traffic, regenerated from the seed (the same packets
-	// every tick, like the soak harness).
+	// every tick, like the soak harness). The pool covers the steady
+	// per-tick load plus one incast burst.
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	s.packets = make([][]byte, cfg.PacketsPerSF)
+	s.packets = make([][]byte, perTick+burst)
 	for i := range s.packets {
 		s.packets[i] = make([]byte, cfg.PacketLen)
 		rng.Read(s.packets[i])
@@ -180,6 +221,40 @@ func (s *Session) logf(format string, args ...any) {
 	}
 }
 
+// queueTraffic queues this tick's client packets at A: either
+// PacketsPerSF on VC 0 or the per-VC VCPackets pattern, plus a periodic
+// incast burst on VC 0. Returns false on a send error (session aborts).
+func (s *Session) queueTraffic() bool {
+	i := 0
+	send := func(vc, n int) bool {
+		for k := 0; k < n; k++ {
+			if err := s.pair.A.SendVC(vc, s.packets[i]); err != nil {
+				s.err = err
+				s.logf("sf=%d send error: %v", s.sf, err)
+				return false
+			}
+			i++
+		}
+		return true
+	}
+	if len(s.cfg.VCPackets) > 0 {
+		for vc, n := range s.cfg.VCPackets {
+			if !send(vc, n) {
+				return false
+			}
+		}
+	} else if !send(0, s.cfg.PacketsPerSF) {
+		return false
+	}
+	if s.cfg.BurstEvery > 0 && s.sf%s.cfg.BurstEvery == 0 {
+		s.logf("sf=%d incast burst +%d", s.sf, s.cfg.BurstPackets)
+		if !send(0, s.cfg.BurstPackets) {
+			return false
+		}
+	}
+	return true
+}
+
 // tick runs one superframe: inject faults, queue client packets, move
 // the pair one round trip, spare out failed channels, then log
 // milestones and push telemetry. Bridge syncs scheduled by the monitor
@@ -188,12 +263,8 @@ func (s *Session) logf(format string, args ...any) {
 func (s *Session) tick() {
 	s.applier.Step(s.sf)
 
-	for _, p := range s.packets {
-		if err := s.pair.A.Send(p); err != nil {
-			s.err = err
-			s.logf("sf=%d send error: %v", s.sf, err)
-			return
-		}
+	if !s.queueTraffic() {
+		return
 	}
 	if err := s.pair.Tick(); err != nil {
 		s.err = err
@@ -233,6 +304,12 @@ func (s *Session) tick() {
 	if s.col != nil {
 		s.col.Sync("a", s.pair.A.Stats().Export())
 		s.col.Sync("b", s.pair.B.Stats().Export())
+		for vc := 0; vc < s.pair.A.NumVCs(); vc++ {
+			s.col.SyncVC("a", vc, s.pair.A.VCSnapshot(vc).Export())
+		}
+		for vc := 0; vc < s.pair.B.NumVCs(); vc++ {
+			s.col.SyncVC("b", vc, s.pair.B.VCSnapshot(vc).Export())
+		}
 		if s.cfg.Bridge != nil {
 			s.col.SyncBridge(s.cfg.Bridge.Renegotiations(), s.cfg.Bridge.Fraction())
 		}
@@ -258,6 +335,12 @@ func (s *Session) Result() *Result {
 		SparesEnd:   s.cfg.Fwd.Mapper().SparesLeft(),
 		Fraction:    1,
 	}
+	for vc := 0; vc < s.pair.A.NumVCs(); vc++ {
+		r.AVCs = append(r.AVCs, s.pair.A.VCSnapshot(vc))
+	}
+	for vc := 0; vc < s.pair.B.NumVCs(); vc++ {
+		r.BVCs = append(r.BVCs, s.pair.B.VCSnapshot(vc))
+	}
 	if s.err != nil {
 		r.Err = s.err.Error()
 	}
@@ -271,10 +354,10 @@ func (s *Session) Result() *Result {
 // Summary renders the aggregate counters as a short multi-line report.
 func (r *Result) Summary() string {
 	return fmt.Sprintf(
-		"superframes=%d delivered=%d/%d queued (dups=%d ooo=%d)\n"+
+		"superframes=%d delivered=%d/%d queued (dups=%d disc=%d reord=%d)\n"+
 			"retx=%d timeouts=%d stalls=%d pure_acks=%d crc_rejects=%d resync_bytes=%d\n"+
 			"lanes=%d->%d spares_left=%d renegotiations=%d fraction=%.4f",
-		r.Superframes, r.B.Delivered, r.A.PacketsQueued, r.B.Duplicates, r.B.OutOfOrder,
+		r.Superframes, r.B.Delivered, r.A.PacketsQueued, r.B.Duplicates, r.B.Discarded, r.B.Reordered,
 		r.A.Retransmits, r.A.Timeouts, r.A.CreditStalls, r.B.AcksTx+r.A.AcksTx,
 		r.B.Deframe.CRCRejects, r.B.Deframe.SkippedBytes,
 		r.LanesStart, r.LanesEnd, r.SparesEnd, r.Renegotiations, r.Fraction)
@@ -290,15 +373,38 @@ func (s Stats) Export() telemetry.MACStats {
 		DataRx:        s.DataRx,
 		Delivered:     s.Delivered,
 		Duplicates:    s.Duplicates,
-		OutOfOrder:    s.OutOfOrder,
+		Discarded:     s.Discarded,
+		Reordered:     s.Reordered,
 		AcksRx:        s.AcksRx,
+		SacksRx:       s.SacksRx,
+		UnknownVC:     s.UnknownVC,
 		CreditStalls:  s.CreditStalls,
 		Timeouts:      s.Timeouts,
 		InFlight:      s.InFlight,
 		QueueDepth:    s.QueueDepth,
+		ReorderDepth:  s.ReorderDepth,
 		DeframeFrames: s.Deframe.Frames,
 		CRCRejects:    s.Deframe.CRCRejects,
 		HeaderRejects: s.Deframe.HeaderRejects,
 		SkippedBytes:  s.Deframe.SkippedBytes,
+	}
+}
+
+// ExportVC converts one VC's stats into the neutral telemetry shape.
+func (s VCStats) Export() telemetry.MACVCStats {
+	return telemetry.MACVCStats{
+		Class:         int(s.Class),
+		PacketsQueued: s.PacketsQueued,
+		DataTx:        s.DataTx,
+		Retransmits:   s.Retransmits,
+		Delivered:     s.Delivered,
+		Duplicates:    s.Duplicates,
+		Discarded:     s.Discarded,
+		Reordered:     s.Reordered,
+		CreditStalls:  s.CreditStalls,
+		Timeouts:      s.Timeouts,
+		InFlight:      s.InFlight,
+		QueueDepth:    s.QueueDepth,
+		ReorderDepth:  s.ReorderDepth,
 	}
 }

@@ -17,6 +17,12 @@ type Flow struct {
 	Path     []int // link IDs
 	Hash     uint64
 
+	// Weight scales the flow's share under weighted max-min fairness: a
+	// weight-2 flow receives twice the rate of a weight-1 flow at the
+	// same bottleneck. StartFlow sets 1; priority traffic (e.g. a MAC
+	// virtual channel's QoS class) uses StartFlowWeighted.
+	Weight float64
+
 	remaining float64
 	rate      float64
 	start     sim.Time
@@ -74,11 +80,20 @@ func (fs *FlowSim) ActiveFlows() int { return len(fs.active) }
 // Records returns completed/stalled flow records.
 func (fs *FlowSim) Records() []FlowRecord { return fs.records }
 
-// StartFlow injects a flow now. It picks the ECMP path from the hash and
-// returns the flow ID.
+// StartFlow injects a weight-1 flow now. It picks the ECMP path from the
+// hash and returns the flow ID.
 func (fs *FlowSim) StartFlow(src, dst int, sizeBits float64, hash uint64) (int, error) {
+	return fs.StartFlowWeighted(src, dst, sizeBits, hash, 1)
+}
+
+// StartFlowWeighted injects a flow with a max-min scheduling weight
+// (weight <= 0 or NaN is treated as 1, so plain flows are unaffected).
+func (fs *FlowSim) StartFlowWeighted(src, dst int, sizeBits float64, hash uint64, weight float64) (int, error) {
 	if sizeBits <= 0 {
 		return 0, errors.New("netsim: flow size must be positive")
+	}
+	if weight <= 0 || weight != weight {
+		weight = 1
 	}
 	path, err := fs.routeAvoidingDead(src, dst, hash)
 	if err != nil {
@@ -88,7 +103,7 @@ func (fs *FlowSim) StartFlow(src, dst int, sizeBits float64, hash uint64) (int, 
 	fs.nextID++
 	f := &Flow{
 		ID: id, Src: src, Dst: dst, SizeBits: sizeBits,
-		Path: path, Hash: hash,
+		Path: path, Hash: hash, Weight: weight,
 		remaining: sizeBits,
 		start:     fs.Engine.Now(),
 		lastTouch: fs.Engine.Now(),
@@ -191,7 +206,10 @@ func (fs *FlowSim) settle(f *Flow) {
 	f.lastTouch = fs.Engine.Now()
 }
 
-// recomputeRates performs progressive-filling max-min fairness.
+// recomputeRates performs progressive-filling weighted max-min fairness:
+// each link's fair share is remaining capacity per unit of flow weight,
+// and a flow frozen at a bottleneck receives share * Weight. With all
+// weights 1 this reduces exactly to classic max-min.
 func (fs *FlowSim) recomputeRates() {
 	for _, f := range fs.active {
 		fs.settle(f)
@@ -202,24 +220,24 @@ func (fs *FlowSim) recomputeRates() {
 	}
 	remCap := make([]float64, len(fs.capacity))
 	copy(remCap, fs.capacity)
-	flowsOn := make([]int, len(fs.capacity)) // unfrozen flows per link
+	weightOn := make([]float64, len(fs.capacity)) // unfrozen flow weight per link
 	unfrozen := make(map[int]*Flow, len(fs.active))
 	for id, f := range fs.active {
 		unfrozen[id] = f
 		for _, l := range f.Path {
-			flowsOn[l]++
+			weightOn[l] += f.weight()
 		}
 	}
 	for len(unfrozen) > 0 {
-		// Find the bottleneck link: minimal fair share among links with
-		// unfrozen flows.
+		// Find the bottleneck link: minimal per-weight fair share among
+		// links with unfrozen flows.
 		bottleneck := -1
 		best := math.Inf(1)
 		for l := range remCap {
-			if flowsOn[l] == 0 {
+			if weightOn[l] <= 0 {
 				continue
 			}
-			fair := remCap[l] / float64(flowsOn[l])
+			fair := remCap[l] / weightOn[l]
 			if fair < best {
 				best = fair
 				bottleneck = l
@@ -228,7 +246,8 @@ func (fs *FlowSim) recomputeRates() {
 		if bottleneck < 0 {
 			break
 		}
-		// Freeze every unfrozen flow crossing the bottleneck at `best`.
+		// Freeze every unfrozen flow crossing the bottleneck at its
+		// weighted share of `best`.
 		for id, f := range unfrozen {
 			crosses := false
 			for _, l := range f.Path {
@@ -240,17 +259,26 @@ func (fs *FlowSim) recomputeRates() {
 			if !crosses {
 				continue
 			}
-			f.rate = best
+			f.rate = best * f.weight()
 			for _, l := range f.Path {
-				remCap[l] -= best
+				remCap[l] -= f.rate
 				if remCap[l] < 0 {
 					remCap[l] = 0
 				}
-				flowsOn[l]--
+				weightOn[l] -= f.weight()
 			}
 			delete(unfrozen, id)
 		}
 	}
+}
+
+// weight returns the flow's effective max-min weight (zero value = 1, so
+// Flow literals without an explicit weight behave like before).
+func (f *Flow) weight() float64 {
+	if f.Weight <= 0 || f.Weight != f.Weight {
+		return 1
+	}
+	return f.Weight
 }
 
 // reschedule recomputes rates and schedules the next completion event.

@@ -1,0 +1,34 @@
+package netsim
+
+// VCLinkMap fans per-virtual-channel capacity publications (from a MAC
+// bridge's VCCapacitySink) out to individual flow-sim links. A Mosaic
+// link carrying N virtual channels is modeled network-side as N parallel
+// links, one per VC; when the physical link renegotiates, every VC link
+// is rescaled to that VC's weighted share, so priority traffic keeps a
+// proportionally larger slice of the degraded width.
+//
+// The zero value is unusable; fill FS and register each (macLink, vc)
+// pair with Map before installing the bridge.
+type VCLinkMap struct {
+	FS    *FlowSim
+	links map[[2]int]int
+}
+
+// NewVCLinkMap builds an empty map over a flow simulator.
+func NewVCLinkMap(fs *FlowSim) *VCLinkMap {
+	return &VCLinkMap{FS: fs, links: make(map[[2]int]int)}
+}
+
+// Map routes capacity updates for (macLinkID, vc) to a flow-sim link.
+func (m *VCLinkMap) Map(macLinkID, vc, flowLinkID int) {
+	m.links[[2]int{macLinkID, vc}] = flowLinkID
+}
+
+// SetVCCapacityFraction implements the MAC bridge's VCCapacitySink:
+// unmapped (link, vc) pairs are ignored, mapped ones rescale their
+// flow-sim link.
+func (m *VCLinkMap) SetVCCapacityFraction(macLinkID, vc int, frac float64) {
+	if l, ok := m.links[[2]int{macLinkID, vc}]; ok {
+		m.FS.SetLinkCapacityFraction(l, frac)
+	}
+}

@@ -3,11 +3,11 @@ package refmodel
 import "fmt"
 
 // Reference MAC layer. The wire format is re-stated here independently of
-// internal/mac (magic | flags | seq | ack | len | payload | crc32, idle
-// fill 0x00), the deframer parses every field with explicit arithmetic
-// and the bitwise reference CRC, and the go-back-N endpoint keeps its
-// replay state as plain slices of freshly copied payloads — no ring, no
-// buffer recycling, no reuse of any kind.
+// internal/mac (magic | flags [| vc] | seq | ack | len | payload | crc32,
+// idle fill 0x00), the deframer parses every field with explicit
+// arithmetic and the bitwise reference CRC, and the ARQ endpoints keep
+// their replay state as plain slices and maps of freshly copied payloads
+// — no ring, no buffer recycling, no reuse of any kind.
 
 // MAC wire constants.
 const (
@@ -16,10 +16,15 @@ const (
 	MACIdleByte = 0x00
 
 	MACHeaderLen   = 9
+	MACHeaderLenV2 = 10 // v2 inserts a one-byte VC field after flags
 	MACOverhead    = MACHeaderLen + 4
+	MACOverheadV2  = MACHeaderLenV2 + 4
 	MACMaxPayload  = 2048 // default payload bound, as in the optimized MAC
 	MACFlagData    = 1 << 0
 	MACFlagAck     = 1 << 1
+	MACFlagSack    = 1 << 2 // payload is a MACSackBytes selective-ack bitmap
+	MACFlagV2      = 1 << 3 // header carries the VC byte
+	MACSackBytes   = 8
 	MACWindow      = 64 // default go-back-N window
 	MACRetxTimeout = 3  // default superframe retransmit timeout
 )
@@ -27,6 +32,7 @@ const (
 // MACFrame is one decoded reference MAC frame (payload freshly copied).
 type MACFrame struct {
 	Flags   byte
+	VC      byte // 0 for v1 frames
 	Seq     uint16
 	Ack     uint16
 	Payload []byte
@@ -43,10 +49,23 @@ type MACDeframeStats struct {
 	Truncated     uint64
 }
 
-// AppendMACFrame encodes one MAC frame onto dst byte by byte.
+// AppendMACFrame encodes one v1 MAC frame onto dst byte by byte (the V2
+// flag bit is stripped, as in the optimized encoder).
 func AppendMACFrame(dst []byte, flags byte, seq, ack uint16, payload []byte) []byte {
 	start := len(dst)
-	dst = append(dst, MACMagic0, MACMagic1, flags,
+	dst = append(dst, MACMagic0, MACMagic1, flags&^byte(MACFlagV2),
+		byte(seq>>8), byte(seq), byte(ack>>8), byte(ack),
+		byte(len(payload)>>8), byte(len(payload)))
+	dst = append(dst, payload...)
+	crc := CRC32(dst[start:])
+	return append(dst, byte(crc>>24), byte(crc>>16), byte(crc>>8), byte(crc))
+}
+
+// AppendMACFrameV2 encodes one v2 MAC frame (the V2 flag bit is forced
+// on, and the VC byte follows the flags).
+func AppendMACFrameV2(dst []byte, flags, vc byte, seq, ack uint16, payload []byte) []byte {
+	start := len(dst)
+	dst = append(dst, MACMagic0, MACMagic1, flags|byte(MACFlagV2), vc,
 		byte(seq>>8), byte(seq), byte(ack>>8), byte(ack),
 		byte(len(payload)>>8), byte(len(payload)))
 	dst = append(dst, payload...)
@@ -81,13 +100,26 @@ func MACDeframe(buf []byte, maxPayload int) ([]MACFrame, MACDeframeStats) {
 			i++
 			continue
 		}
-		n := int(buf[i+7])<<8 | int(buf[i+8])
+		flags := buf[i+2]
+		hdr := MACHeaderLen
+		var vc byte
+		if flags&MACFlagV2 != 0 {
+			hdr = MACHeaderLenV2
+			if i+hdr+4 > len(buf) {
+				// The longer v2 header itself runs past the buffer.
+				st.Truncated++
+				i++
+				continue
+			}
+			vc = buf[i+3]
+		}
+		n := int(buf[i+hdr-2])<<8 | int(buf[i+hdr-1])
 		if n > maxPayload {
 			st.HeaderRejects++
 			i++
 			continue
 		}
-		end := i + MACHeaderLen + n + 4
+		end := i + hdr + n + 4
 		if end > len(buf) {
 			st.Truncated++
 			i++
@@ -103,10 +135,11 @@ func MACDeframe(buf []byte, maxPayload int) ([]MACFrame, MACDeframeStats) {
 		st.Frames++
 		st.PayloadBytes += uint64(n)
 		frames = append(frames, MACFrame{
-			Flags:   buf[i+2],
-			Seq:     uint16(buf[i+3])<<8 | uint16(buf[i+4]),
-			Ack:     uint16(buf[i+5])<<8 | uint16(buf[i+6]),
-			Payload: append([]byte(nil), buf[i+MACHeaderLen:i+MACHeaderLen+n]...),
+			Flags:   flags,
+			VC:      vc,
+			Seq:     uint16(buf[i+hdr-6])<<8 | uint16(buf[i+hdr-5]),
+			Ack:     uint16(buf[i+hdr-4])<<8 | uint16(buf[i+hdr-3]),
+			Payload: append([]byte(nil), buf[i+hdr:i+hdr+n]...),
 		})
 		i = end
 	}
@@ -129,13 +162,17 @@ type MACStats struct {
 	DataRx        uint64
 	Delivered     uint64
 	Duplicates    uint64
-	OutOfOrder    uint64
+	Discarded     uint64
+	Reordered     uint64
 	AcksRx        uint64
+	SacksRx       uint64
+	UnknownVC     uint64
 	CreditStalls  uint64
 	Timeouts      uint64
 
-	InFlight   int
-	QueueDepth int
+	InFlight     int
+	QueueDepth   int
+	ReorderDepth int
 
 	Deframe MACDeframeStats
 }
@@ -298,7 +335,7 @@ func (e *LLREndpoint) handleFrame(f MACFrame) {
 		e.stats.Duplicates++
 		e.ackDirty = true
 	default:
-		e.stats.OutOfOrder++
+		e.stats.Discarded++
 		e.ackDirty = true
 	}
 }

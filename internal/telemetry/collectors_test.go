@@ -121,7 +121,7 @@ func TestMACCollectorSync(t *testing.T) {
 
 	s := MACStats{
 		PacketsQueued: 10, DataTx: 20, Retransmits: 5, AcksTx: 2,
-		DataRx: 18, Delivered: 9, Duplicates: 1, OutOfOrder: 1,
+		DataRx: 18, Delivered: 9, Duplicates: 1, Discarded: 1,
 		AcksRx: 15, CreditStalls: 3, Timeouts: 2,
 		InFlight: 4, QueueDepth: 6,
 		DeframeFrames: 40, CRCRejects: 2, HeaderRejects: 1, SkippedBytes: 7,

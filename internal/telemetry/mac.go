@@ -1,5 +1,7 @@
 package telemetry
 
+import "strconv"
+
 // MACStats is a neutral snapshot of one MAC/LLR endpoint's cumulative
 // counters and gauges. It mirrors mac.Stats field-for-field but lives
 // here so the telemetry package never imports internal/mac (which
@@ -13,13 +15,17 @@ type MACStats struct {
 	DataRx        uint64
 	Delivered     uint64
 	Duplicates    uint64
-	OutOfOrder    uint64
+	Discarded     uint64
+	Reordered     uint64
 	AcksRx        uint64
+	SacksRx       uint64
+	UnknownVC     uint64
 	CreditStalls  uint64
 	Timeouts      uint64
 
-	InFlight   int
-	QueueDepth int
+	InFlight     int
+	QueueDepth   int
+	ReorderDepth int
 
 	DeframeFrames uint64
 	CRCRejects    uint64
@@ -27,17 +33,49 @@ type MACStats struct {
 	SkippedBytes  uint64
 }
 
+// MACVCStats is the per-virtual-channel breakdown of the same counters,
+// mirroring mac.VCStats.
+type MACVCStats struct {
+	Class         int
+	PacketsQueued uint64
+	DataTx        uint64
+	Retransmits   uint64
+	Delivered     uint64
+	Duplicates    uint64
+	Discarded     uint64
+	Reordered     uint64
+	CreditStalls  uint64
+	Timeouts      uint64
+
+	InFlight     int
+	QueueDepth   int
+	ReorderDepth int
+}
+
 // macEndpoint holds the metric handles and previous snapshot for one
 // labeled endpoint.
 type macEndpoint struct {
-	packets, dataTx, retx, acksTx     *Counter
-	dataRx, delivered, dups, ooo      *Counter
-	acksRx, stalls, timeouts          *Counter
-	deframed, crcRej, hdrRej, skipped *Counter
+	packets, dataTx, retx, acksTx      *Counter
+	dataRx, delivered, dups, discarded *Counter
+	reordered, acksRx, sacksRx         *Counter
+	unknownVC, stalls, timeouts        *Counter
+	deframed, crcRej, hdrRej, skipped  *Counter
 
-	inFlight, queueDepth, retxRate *Gauge
+	inFlight, queueDepth, reorderDepth, retxRate *Gauge
 
 	prev MACStats
+}
+
+// macVC holds the metric handles and previous snapshot for one
+// (endpoint, virtual channel) pair.
+type macVC struct {
+	packets, dataTx, retx, delivered *Counter
+	dups, discarded, reordered       *Counter
+	stalls, timeouts                 *Counter
+
+	class, inFlight, queueDepth, reorderDepth *Gauge
+
+	prev MACVCStats
 }
 
 // MACCollector pushes MAC endpoint snapshots into a Registry, following
@@ -48,6 +86,7 @@ type macEndpoint struct {
 type MACCollector struct {
 	reg       *Registry
 	endpoints map[string]*macEndpoint
+	vcs       map[string]*macVC
 
 	renegotiations *Counter
 	capacityFrac   *Gauge
@@ -58,17 +97,23 @@ type MACCollector struct {
 // returns a collector. Endpoint handles are created lazily per label on
 // first Sync; bridge-level metrics are singletons.
 func NewMACCollector(reg *Registry) *MACCollector {
-	reg.Help("mosaic_mac_retransmits_total", "LLR data frames re-sent by go-back-N")
+	reg.Help("mosaic_mac_retransmits_total", "LLR data frames re-sent by the ARQ")
 	reg.Help("mosaic_mac_delivered_total", "packets delivered in order to the client")
+	reg.Help("mosaic_mac_discarded_total", "data frames dropped with no reorder room (ahead of window)")
+	reg.Help("mosaic_mac_reordered_total", "out-of-order data frames parked in the SR reorder buffer")
 	reg.Help("mosaic_mac_credit_stalls_total", "superframes where data waited on a full replay window")
 	reg.Help("mosaic_mac_crc_rejects_total", "MAC frames dropped by the deframer CRC check")
 	reg.Help("mosaic_mac_replay_occupancy", "unacked frames in the replay ring")
+	reg.Help("mosaic_mac_reorder_depth", "frames parked in the SR reorder buffer")
 	reg.Help("mosaic_mac_retx_rate", "retransmitted fraction of data frames since the last sync")
 	reg.Help("mosaic_mac_renegotiations_total", "capacity renegotiations published by the MAC bridge")
 	reg.Help("mosaic_mac_capacity_fraction", "capacity fraction last published by the MAC bridge")
+	reg.Help("mosaic_mac_vc_delivered_total", "per-VC packets delivered in order to the client")
+	reg.Help("mosaic_mac_vc_class", "QoS class assigned to the virtual channel (0 = highest)")
 	c := &MACCollector{
 		reg:            reg,
 		endpoints:      make(map[string]*macEndpoint),
+		vcs:            make(map[string]*macVC),
 		renegotiations: reg.Counter("mosaic_mac_renegotiations_total"),
 		capacityFrac:   reg.Gauge("mosaic_mac_capacity_fraction"),
 	}
@@ -82,27 +127,57 @@ func (c *MACCollector) endpoint(label string) *macEndpoint {
 	}
 	r := c.reg
 	ep := &macEndpoint{
-		packets:    r.Counter("mosaic_mac_packets_queued_total", "endpoint", label),
-		dataTx:     r.Counter("mosaic_mac_data_frames_tx_total", "endpoint", label),
-		retx:       r.Counter("mosaic_mac_retransmits_total", "endpoint", label),
-		acksTx:     r.Counter("mosaic_mac_pure_acks_tx_total", "endpoint", label),
-		dataRx:     r.Counter("mosaic_mac_data_frames_rx_total", "endpoint", label),
-		delivered:  r.Counter("mosaic_mac_delivered_total", "endpoint", label),
-		dups:       r.Counter("mosaic_mac_duplicates_total", "endpoint", label),
-		ooo:        r.Counter("mosaic_mac_out_of_order_total", "endpoint", label),
-		acksRx:     r.Counter("mosaic_mac_acks_rx_total", "endpoint", label),
-		stalls:     r.Counter("mosaic_mac_credit_stalls_total", "endpoint", label),
-		timeouts:   r.Counter("mosaic_mac_timeouts_total", "endpoint", label),
-		deframed:   r.Counter("mosaic_mac_deframed_frames_total", "endpoint", label),
-		crcRej:     r.Counter("mosaic_mac_crc_rejects_total", "endpoint", label),
-		hdrRej:     r.Counter("mosaic_mac_header_rejects_total", "endpoint", label),
-		skipped:    r.Counter("mosaic_mac_resync_skipped_bytes_total", "endpoint", label),
-		inFlight:   r.Gauge("mosaic_mac_replay_occupancy", "endpoint", label),
-		queueDepth: r.Gauge("mosaic_mac_queue_depth", "endpoint", label),
-		retxRate:   r.Gauge("mosaic_mac_retx_rate", "endpoint", label),
+		packets:      r.Counter("mosaic_mac_packets_queued_total", "endpoint", label),
+		dataTx:       r.Counter("mosaic_mac_data_frames_tx_total", "endpoint", label),
+		retx:         r.Counter("mosaic_mac_retransmits_total", "endpoint", label),
+		acksTx:       r.Counter("mosaic_mac_pure_acks_tx_total", "endpoint", label),
+		dataRx:       r.Counter("mosaic_mac_data_frames_rx_total", "endpoint", label),
+		delivered:    r.Counter("mosaic_mac_delivered_total", "endpoint", label),
+		dups:         r.Counter("mosaic_mac_duplicates_total", "endpoint", label),
+		discarded:    r.Counter("mosaic_mac_discarded_total", "endpoint", label),
+		reordered:    r.Counter("mosaic_mac_reordered_total", "endpoint", label),
+		acksRx:       r.Counter("mosaic_mac_acks_rx_total", "endpoint", label),
+		sacksRx:      r.Counter("mosaic_mac_sacks_rx_total", "endpoint", label),
+		unknownVC:    r.Counter("mosaic_mac_unknown_vc_total", "endpoint", label),
+		stalls:       r.Counter("mosaic_mac_credit_stalls_total", "endpoint", label),
+		timeouts:     r.Counter("mosaic_mac_timeouts_total", "endpoint", label),
+		deframed:     r.Counter("mosaic_mac_deframed_frames_total", "endpoint", label),
+		crcRej:       r.Counter("mosaic_mac_crc_rejects_total", "endpoint", label),
+		hdrRej:       r.Counter("mosaic_mac_header_rejects_total", "endpoint", label),
+		skipped:      r.Counter("mosaic_mac_resync_skipped_bytes_total", "endpoint", label),
+		inFlight:     r.Gauge("mosaic_mac_replay_occupancy", "endpoint", label),
+		queueDepth:   r.Gauge("mosaic_mac_queue_depth", "endpoint", label),
+		reorderDepth: r.Gauge("mosaic_mac_reorder_depth", "endpoint", label),
+		retxRate:     r.Gauge("mosaic_mac_retx_rate", "endpoint", label),
 	}
 	c.endpoints[label] = ep
 	return ep
+}
+
+func (c *MACCollector) vc(label string, vc int) *macVC {
+	key := label + "/" + strconv.Itoa(vc)
+	if h, ok := c.vcs[key]; ok {
+		return h
+	}
+	r := c.reg
+	vcLabel := strconv.Itoa(vc)
+	h := &macVC{
+		packets:      r.Counter("mosaic_mac_vc_packets_queued_total", "endpoint", label, "vc", vcLabel),
+		dataTx:       r.Counter("mosaic_mac_vc_data_frames_tx_total", "endpoint", label, "vc", vcLabel),
+		retx:         r.Counter("mosaic_mac_vc_retransmits_total", "endpoint", label, "vc", vcLabel),
+		delivered:    r.Counter("mosaic_mac_vc_delivered_total", "endpoint", label, "vc", vcLabel),
+		dups:         r.Counter("mosaic_mac_vc_duplicates_total", "endpoint", label, "vc", vcLabel),
+		discarded:    r.Counter("mosaic_mac_vc_discarded_total", "endpoint", label, "vc", vcLabel),
+		reordered:    r.Counter("mosaic_mac_vc_reordered_total", "endpoint", label, "vc", vcLabel),
+		stalls:       r.Counter("mosaic_mac_vc_credit_stalls_total", "endpoint", label, "vc", vcLabel),
+		timeouts:     r.Counter("mosaic_mac_vc_timeouts_total", "endpoint", label, "vc", vcLabel),
+		class:        r.Gauge("mosaic_mac_vc_class", "endpoint", label, "vc", vcLabel),
+		inFlight:     r.Gauge("mosaic_mac_vc_replay_occupancy", "endpoint", label, "vc", vcLabel),
+		queueDepth:   r.Gauge("mosaic_mac_vc_queue_depth", "endpoint", label, "vc", vcLabel),
+		reorderDepth: r.Gauge("mosaic_mac_vc_reorder_depth", "endpoint", label, "vc", vcLabel),
+	}
+	c.vcs[key] = h
+	return h
 }
 
 // Sync publishes one endpoint snapshot: counters advance by the delta
@@ -119,8 +194,11 @@ func (c *MACCollector) Sync(label string, s MACStats) {
 	ep.dataRx.Add(s.DataRx - p.DataRx)
 	ep.delivered.Add(s.Delivered - p.Delivered)
 	ep.dups.Add(s.Duplicates - p.Duplicates)
-	ep.ooo.Add(s.OutOfOrder - p.OutOfOrder)
+	ep.discarded.Add(s.Discarded - p.Discarded)
+	ep.reordered.Add(s.Reordered - p.Reordered)
 	ep.acksRx.Add(s.AcksRx - p.AcksRx)
+	ep.sacksRx.Add(s.SacksRx - p.SacksRx)
+	ep.unknownVC.Add(s.UnknownVC - p.UnknownVC)
 	ep.stalls.Add(s.CreditStalls - p.CreditStalls)
 	ep.timeouts.Add(s.Timeouts - p.Timeouts)
 	ep.deframed.Add(s.DeframeFrames - p.DeframeFrames)
@@ -130,6 +208,7 @@ func (c *MACCollector) Sync(label string, s MACStats) {
 
 	ep.inFlight.SetInt(int64(s.InFlight))
 	ep.queueDepth.SetInt(int64(s.QueueDepth))
+	ep.reorderDepth.SetInt(int64(s.ReorderDepth))
 	dRetx := s.Retransmits - p.Retransmits
 	dData := s.DataTx - p.DataTx + dRetx
 	if dData > 0 {
@@ -138,6 +217,28 @@ func (c *MACCollector) Sync(label string, s MACStats) {
 		ep.retxRate.Set(0)
 	}
 	ep.prev = s
+}
+
+// SyncVC publishes one virtual channel's snapshot for a labeled
+// endpoint, with the same delta-against-previous discipline as Sync.
+func (c *MACCollector) SyncVC(label string, vcIdx int, s MACVCStats) {
+	h := c.vc(label, vcIdx)
+	p := h.prev
+	h.packets.Add(s.PacketsQueued - p.PacketsQueued)
+	h.dataTx.Add(s.DataTx - p.DataTx)
+	h.retx.Add(s.Retransmits - p.Retransmits)
+	h.delivered.Add(s.Delivered - p.Delivered)
+	h.dups.Add(s.Duplicates - p.Duplicates)
+	h.discarded.Add(s.Discarded - p.Discarded)
+	h.reordered.Add(s.Reordered - p.Reordered)
+	h.stalls.Add(s.CreditStalls - p.CreditStalls)
+	h.timeouts.Add(s.Timeouts - p.Timeouts)
+
+	h.class.SetInt(int64(s.Class))
+	h.inFlight.SetInt(int64(s.InFlight))
+	h.queueDepth.SetInt(int64(s.QueueDepth))
+	h.reorderDepth.SetInt(int64(s.ReorderDepth))
+	h.prev = s
 }
 
 // SyncBridge publishes bridge-level renegotiation state (cumulative
