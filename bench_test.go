@@ -299,6 +299,54 @@ func BenchmarkPipelineThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkExchangeSteadyState measures the zero-allocation Exchange
+// path: the paper's 100-channel link in the clean steady state, with the
+// caller recycling delivered frames through an ExchangeBuf arena. The
+// baseline pins this at 0 allocs/op — every buffer in the TX → channel →
+// RX round trip (lane slabs, streams, parse scratch, the output arena,
+// the pool dispatch) must be reused, so any steady-state allocation is a
+// regression (enforced by benchguard).
+func BenchmarkExchangeSteadyState(b *testing.B) {
+	link, err := phy.New(phy.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	frames := make([][]byte, 64)
+	total := 0
+	for i := range frames {
+		frames[i] = make([]byte, 1500)
+		rng.Read(frames[i])
+		total += 1500
+	}
+	var buf phy.ExchangeBuf
+	delivered := 0
+	// Warm the path: buffers grow to the traffic high-water mark on the
+	// first round; after that the arena is steady.
+	out, _, err := link.ExchangeInto(&buf, frames)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(out) != len(frames) {
+		b.Fatalf("clean link delivered %d/%d frames", len(out), len(frames))
+	}
+
+	b.SetBytes(int64(total))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, _, err := link.ExchangeInto(&buf, frames)
+		if err != nil {
+			b.Fatal(err)
+		}
+		delivered += len(out)
+	}
+	b.StopTimer()
+	if delivered != b.N*len(frames) {
+		b.Fatalf("delivered %d/%d frames", delivered, b.N*len(frames))
+	}
+}
+
 // BenchmarkFECSchemes compares per-channel FEC encode+decode speed.
 func BenchmarkFECSchemes(b *testing.B) {
 	payload := make([]byte, 243)

@@ -72,11 +72,63 @@ func TestCompare(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			bad := compare(c.current, base, 0.10)
+			bad := compare(c.current, base, 0.10, 0.25)
 			if len(bad) != c.wantBad {
 				t.Errorf("violations = %v, want %d", bad, c.wantBad)
 			}
 		})
+	}
+}
+
+func TestCompareTimeGate(t *testing.T) {
+	base := []Bench{{Name: "BenchmarkE10EndToEnd", NsPerOp: 100_000_000, AllocsPerOp: 1000}}
+	cases := []struct {
+		name    string
+		current []Bench
+		wantBad int
+	}{
+		{"within 25%", []Bench{{Name: "BenchmarkE10EndToEnd", NsPerOp: 124_000_000, AllocsPerOp: 1000}}, 0},
+		{"faster", []Bench{{Name: "BenchmarkE10EndToEnd", NsPerOp: 40_000_000, AllocsPerOp: 1000}}, 0},
+		{"26% slower", []Bench{{Name: "BenchmarkE10EndToEnd", NsPerOp: 126_000_000, AllocsPerOp: 1000}}, 1},
+		{"both metrics regressed", []Bench{{Name: "BenchmarkE10EndToEnd", NsPerOp: 200_000_000, AllocsPerOp: 9000}}, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			bad := compare(c.current, base, 0.10, 0.25)
+			if len(bad) != c.wantBad {
+				t.Errorf("violations = %v, want %d", bad, c.wantBad)
+			}
+		})
+	}
+	// A zero/negative ns/op baseline leaves time ungated.
+	ungated := []Bench{{Name: "BenchmarkE10EndToEnd", NsPerOp: 0, AllocsPerOp: 1000}}
+	cur := []Bench{{Name: "BenchmarkE10EndToEnd", NsPerOp: 9e12, AllocsPerOp: 1000}}
+	if bad := compare(cur, ungated, 0.10, 0.25); len(bad) != 0 {
+		t.Errorf("violations = %v, want none with ns baseline 0", bad)
+	}
+}
+
+func TestAggregateMinOfN(t *testing.T) {
+	in := []Bench{
+		{Name: "BenchmarkA", Iterations: 3, NsPerOp: 110, BytesPerOp: 64, AllocsPerOp: 2},
+		{Name: "BenchmarkB", Iterations: 5, NsPerOp: 900, BytesPerOp: 10, AllocsPerOp: 1},
+		{Name: "BenchmarkA", Iterations: 3, NsPerOp: 100, BytesPerOp: 80, AllocsPerOp: 3},
+		{Name: "BenchmarkA", Iterations: 4, NsPerOp: 130, BytesPerOp: 64, AllocsPerOp: 2},
+	}
+	out := aggregate(in)
+	if len(out) != 2 {
+		t.Fatalf("aggregated to %d records, want 2", len(out))
+	}
+	a := out[0]
+	if a.Name != "BenchmarkA" || a.Iterations != 10 {
+		t.Errorf("A = %+v, want first-appearance order and summed iterations", a)
+	}
+	// min ns/op, max B/op, max allocs/op.
+	if a.NsPerOp != 100 || a.BytesPerOp != 80 || a.AllocsPerOp != 3 {
+		t.Errorf("A metrics = %+v, want min-ns/max-bytes/max-allocs", a)
+	}
+	if out[1].Name != "BenchmarkB" || out[1].NsPerOp != 900 {
+		t.Errorf("B = %+v, want single record passed through", out[1])
 	}
 }
 
@@ -92,7 +144,7 @@ func TestCompareZeroAllocBaseline(t *testing.T) {
 		{Name: "BenchmarkPinned", AllocsPerOp: 1},
 		{Name: "BenchmarkUngated", AllocsPerOp: 999999},
 	}
-	bad := compare(cur, base, 0.10)
+	bad := compare(cur, base, 0.10, 0.25)
 	if len(bad) != 1 || !strings.Contains(bad[0], "BenchmarkPinned") {
 		t.Errorf("violations = %v, want exactly the pinned benchmark", bad)
 	}
@@ -100,7 +152,7 @@ func TestCompareZeroAllocBaseline(t *testing.T) {
 		{Name: "BenchmarkPinned", AllocsPerOp: 0},
 		{Name: "BenchmarkUngated", AllocsPerOp: 5},
 	}
-	if bad := compare(clean, base, 0.10); len(bad) != 0 {
+	if bad := compare(clean, base, 0.10, 0.25); len(bad) != 0 {
 		t.Errorf("violations = %v, want none for a 0-alloc run", bad)
 	}
 }

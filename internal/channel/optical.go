@@ -211,6 +211,18 @@ func (p OpticalParams) Evaluate() (Result, error) {
 	return r, nil
 }
 
+// EvaluateBasic is Evaluate without the margin search: every field of the
+// result except MarginDB (left zero) is identical to Evaluate's. The
+// margin bisection re-runs the full link budget ~50 times per channel, so
+// callers that only consume BER/Q/power — the bit-true PHY construction
+// evaluating hundreds of channel instances — use this path.
+func (p OpticalParams) EvaluateBasic() (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	return p.evaluate(), nil
+}
+
 // BER returns just the bit error rate (0.5 on invalid parameters).
 func (p OpticalParams) BER() float64 {
 	if err := p.Validate(); err != nil {
@@ -241,6 +253,14 @@ func (p OpticalParams) MarginDB(target float64) float64 {
 	// BER is monotone non-decreasing in path loss: bisect the crossing.
 	for i := 0; i < 100; i++ {
 		mid := (lo + hi) / 2
+		if mid == lo || mid == hi {
+			// The midpoint has converged onto an endpoint: every further
+			// iteration would re-evaluate the same point and change
+			// nothing. Exiting here is bit-identical to running out the
+			// loop — it only skips no-op work (evaluate dominates the
+			// whole-link analysis, so the saved iterations matter).
+			break
+		}
 		if berAt(mid) <= target {
 			lo = mid
 		} else {
@@ -278,6 +298,9 @@ func (p OpticalParams) MaxReach(target, lossPerM float64, mediumBW func(m float6
 	}
 	for i := 0; i < 100; i++ {
 		mid := (lo + hi) / 2
+		if mid == lo || mid == hi {
+			break // converged to double precision; see MarginDB
+		}
 		if berAt(mid) <= target {
 			lo = mid
 		} else {

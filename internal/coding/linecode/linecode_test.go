@@ -396,3 +396,91 @@ func Benchmark8b10bEncode(b *testing.B) {
 		enc.Encode(data)
 	}
 }
+
+// TestScramblerWordMatchesBitSerial pins the word-at-a-time slice paths
+// against pure bit-serial processing at non-64-aligned split points: the
+// same stream scrambled in one call, in odd-sized chunks (each chunk
+// boundary forces a history write-back/reload), and one bit at a time
+// must be byte-identical, and likewise for the descrambler.
+func TestScramblerWordMatchesBitSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, size := range []int{1, 7, 8, 9, 63, 64, 65, 1023} {
+		data := make([]byte, size)
+		rng.Read(data)
+		seed := rng.Uint64() & (1<<58 - 1)
+
+		bitwise := func(state uint64, in []byte) []byte {
+			s := NewScrambler(state)
+			out := make([]byte, len(in))
+			for i, b := range in {
+				var o byte
+				for j := 0; j < 8; j++ {
+					o |= s.ScrambleBit(b>>uint(j)) << uint(j)
+				}
+				out[i] = o
+			}
+			return out
+		}
+		want := bitwise(seed, data)
+
+		whole := NewScrambler(seed).Scramble(append([]byte(nil), data...))
+		if !bytes.Equal(whole, want) {
+			t.Fatalf("size %d: whole-slice scramble differs from bit-serial", size)
+		}
+
+		for _, chunk := range []int{1, 3, 5, 13} {
+			s := NewScrambler(seed)
+			got := append([]byte(nil), data...)
+			for off := 0; off < len(got); off += chunk {
+				end := off + chunk
+				if end > len(got) {
+					end = len(got)
+				}
+				s.Scramble(got[off:end])
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("size %d chunk %d: chunked scramble differs from bit-serial", size, chunk)
+			}
+		}
+
+		// Descrambler: same splits must all invert back to the input.
+		for _, chunk := range []int{1, 3, 5, 13, size} {
+			d := NewDescrambler(seed)
+			got := append([]byte(nil), want...)
+			for off := 0; off < len(got); off += chunk {
+				end := off + chunk
+				if end > len(got) {
+					end = len(got)
+				}
+				d.Descramble(got[off:end])
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("size %d chunk %d: chunked descramble not the inverse", size, chunk)
+			}
+		}
+	}
+}
+
+// TestScramblerWord64MatchesSlice pins the exported single-word step
+// against the slice path on one aligned word.
+func TestScramblerWord64MatchesSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 50; trial++ {
+		var buf [8]byte
+		rng.Read(buf[:])
+		seed := rng.Uint64() & (1<<58 - 1)
+		w := uint64(0)
+		for i, b := range buf {
+			w |= uint64(b) << (8 * i)
+		}
+		s1 := NewScrambler(seed)
+		o := s1.ScrambleWord64(w)
+		s2 := NewScrambler(seed)
+		got := s2.Scramble(append([]byte(nil), buf[:]...))
+		for i := range got {
+			if got[i] != byte(o>>(8*i)) {
+				t.Fatalf("trial %d: slice byte %d %02x != word byte %02x", trial, i, got[i], byte(o>>(8*i)))
+			}
+		}
+	}
+}

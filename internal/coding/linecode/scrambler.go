@@ -6,6 +6,8 @@
 // driver is AC-coupled, so per-channel DC balance matters).
 package linecode
 
+import "math/bits"
+
 // Scrambler is the self-synchronizing multiplicative scrambler with
 // polynomial G(x) = 1 + x^39 + x^58 (IEEE 802.3 clause 49). Because it is
 // self-synchronizing, the descrambler locks onto the stream after 58 bits
@@ -13,8 +15,44 @@ package linecode
 // after a channel remap.
 //
 // The zero value is a scrambler with an all-zero state; any state works.
+//
+// # Word-at-a-time operation
+//
+// Scramble and Descramble advance 64 bits per step instead of one. Over
+// GF(2) the scrambler is linear, so 64 steps of the shift register are one
+// multiplication by the 64th power of its state-transition matrix. For
+// G(x) = 1 + x^39 + x^58 that matrix power collapses to three shifted XOR
+// terms rather than a dense 64×64 bit matrix: writing the 64 input bits
+// time-ordered in a word (bit i = the i-th bit on the wire) and the state
+// history the same way (h bit i = the output 58-i steps ago, i.e. the
+// 58-bit register reversed), the recurrence
+//
+//	out[t] = in[t] ^ out[t-39] ^ out[t-58]
+//
+// splits by whether each tap lands in the history or the current word:
+//
+//	T = in ^ (h >> 19) ^ h          // both taps served from history
+//	O = T ^ (T << 39) ^ (T << 58)   // in-word feedback, fully unrolled
+//
+// (the substitution terminates because (x<<39)<<39 overflows 64 bits).
+// The next state is the last 58 output bits, i.e. O reversed and masked.
+// ScrambleWord64/DescrambleWord64 expose one such step; the slice forms
+// run the same recurrence but keep the history in time order across the
+// whole word run — the next history is just O >> 6 (scramble) or in >> 6
+// (descramble), so the two Reverse64 per word collapse into a single
+// register-form write-back after the loop. The tail stays bit-serial,
+// producing byte-identical output at any offset (the equivalence is
+// pinned by tests at non-64-aligned splits).
 type Scrambler struct {
 	state uint64 // bits 0..57 hold x^1..x^58
+}
+
+const mask58 = 1<<58 - 1
+
+// histWord reorders a 58-bit register into time order: bit i of the
+// result is the output/input from 58-i steps ago (register bit 57-i).
+func histWord(state uint64) uint64 {
+	return bits.Reverse64(state) >> 6
 }
 
 // NewScrambler returns a scrambler seeded with the given state (only the
@@ -38,17 +76,55 @@ func (s *Scrambler) ScrambleBit(in byte) byte {
 	return out
 }
 
+// ScrambleWord64 scrambles 64 bits at once. The input word is time-ordered:
+// bit 0 is the first bit on the wire — exactly the layout of 8 consecutive
+// stream bytes read little-endian, since the byte stream is LSB-first.
+// Output and state update are bit-identical to 64 ScrambleBit calls.
+func (s *Scrambler) ScrambleWord64(in uint64) uint64 {
+	h := histWord(s.state)
+	t := in ^ (h >> 19) ^ h
+	o := t ^ (t << 39) ^ (t << 58)
+	s.state = bits.Reverse64(o) & mask58
+	return o
+}
+
 // Scramble scrambles bits in place over a packed byte slice (LSB-first
-// within each byte) and returns the same slice.
-func (s *Scrambler) Scramble(bits []byte) []byte {
-	for i, b := range bits {
+// within each byte) and returns the same slice. Aligned 8-byte runs go
+// through ScrambleWord64; the tail stays bit-serial.
+func (s *Scrambler) Scramble(buf []byte) []byte {
+	// History-form loop: h stays time-ordered across words. The next
+	// history is the last 58 output bits in time order — exactly o >> 6 —
+	// so the per-word Reverse64 pair disappears; the register form is
+	// reconstructed once after the loop (h << 6 restores the high 58 bits
+	// of the last output word, whose reversal is the register).
+	h := histWord(s.state)
+	i := 0
+	for ; i+8 <= len(buf); i += 8 {
+		w := uint64(buf[i]) | uint64(buf[i+1])<<8 | uint64(buf[i+2])<<16 |
+			uint64(buf[i+3])<<24 | uint64(buf[i+4])<<32 | uint64(buf[i+5])<<40 |
+			uint64(buf[i+6])<<48 | uint64(buf[i+7])<<56
+		t := w ^ (h >> 19) ^ h
+		o := t ^ (t << 39) ^ (t << 58)
+		h = o >> 6
+		buf[i] = byte(o)
+		buf[i+1] = byte(o >> 8)
+		buf[i+2] = byte(o >> 16)
+		buf[i+3] = byte(o >> 24)
+		buf[i+4] = byte(o >> 32)
+		buf[i+5] = byte(o >> 40)
+		buf[i+6] = byte(o >> 48)
+		buf[i+7] = byte(o >> 56)
+	}
+	s.state = bits.Reverse64(h<<6) & mask58
+	for ; i < len(buf); i++ {
+		b := buf[i]
 		var out byte
 		for j := 0; j < 8; j++ {
 			out |= s.ScrambleBit(b>>uint(j)) << uint(j)
 		}
-		bits[i] = out
+		buf[i] = out
 	}
-	return bits
+	return buf
 }
 
 // Descrambler inverts Scrambler. It self-synchronizes: after 58 input bits
@@ -77,15 +153,48 @@ func (d *Descrambler) DescrambleBit(in byte) byte {
 	return out
 }
 
+// DescrambleWord64 descrambles 64 time-ordered bits at once (see
+// ScrambleWord64 for the layout). The descrambler is feed-forward — the
+// taps read the *input* history — so there is no in-word recurrence to
+// unroll: the new state is simply the last 58 input bits.
+func (d *Descrambler) DescrambleWord64(in uint64) uint64 {
+	h := histWord(d.state)
+	o := in ^ (h >> 19) ^ h ^ (in << 39) ^ (in << 58)
+	d.state = bits.Reverse64(in) & mask58
+	return o
+}
+
 // Descramble descrambles bits in place over a packed byte slice (LSB-first
-// within each byte) and returns the same slice.
-func (d *Descrambler) Descramble(bits []byte) []byte {
-	for i, b := range bits {
+// within each byte) and returns the same slice. Aligned 8-byte runs go
+// through DescrambleWord64; the tail stays bit-serial.
+func (d *Descrambler) Descramble(buf []byte) []byte {
+	// History-form loop (see Scrambler.Scramble): the descrambler's next
+	// history is the last 58 *input* bits in time order, i.e. w >> 6.
+	h := histWord(d.state)
+	i := 0
+	for ; i+8 <= len(buf); i += 8 {
+		w := uint64(buf[i]) | uint64(buf[i+1])<<8 | uint64(buf[i+2])<<16 |
+			uint64(buf[i+3])<<24 | uint64(buf[i+4])<<32 | uint64(buf[i+5])<<40 |
+			uint64(buf[i+6])<<48 | uint64(buf[i+7])<<56
+		o := w ^ (h >> 19) ^ h ^ (w << 39) ^ (w << 58)
+		h = w >> 6
+		buf[i] = byte(o)
+		buf[i+1] = byte(o >> 8)
+		buf[i+2] = byte(o >> 16)
+		buf[i+3] = byte(o >> 24)
+		buf[i+4] = byte(o >> 32)
+		buf[i+5] = byte(o >> 40)
+		buf[i+6] = byte(o >> 48)
+		buf[i+7] = byte(o >> 56)
+	}
+	d.state = bits.Reverse64(h<<6) & mask58
+	for ; i < len(buf); i++ {
+		b := buf[i]
 		var out byte
 		for j := 0; j < 8; j++ {
 			out |= d.DescrambleBit(b>>uint(j)) << uint(j)
 		}
-		bits[i] = out
+		buf[i] = out
 	}
-	return bits
+	return buf
 }

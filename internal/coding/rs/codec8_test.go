@@ -1,0 +1,188 @@
+package rs
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// codec8Codes lists the GF(2^8) codes inside the fast-codec envelope
+// that the PHY actually runs.
+func codec8Codes(t *testing.T) []*Code {
+	t.Helper()
+	var out []*Code
+	for _, p := range [][2]int{{68, 64}, {24, 18}, {15, 11}} {
+		c, err := Lite(p[0], p[1])
+		if err != nil {
+			t.Fatalf("Lite(%d,%d): %v", p[0], p[1], err)
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+func TestCodec8Envelope(t *testing.T) {
+	for _, c := range codec8Codes(t) {
+		cd := c.Codec8()
+		if cd == nil {
+			t.Fatalf("%v: inside the envelope but Codec8() == nil", c)
+		}
+		if cd.N() != c.N() || cd.K() != c.K() || cd.Parity() != c.Parity() {
+			t.Errorf("%v: codec geometry %d/%d/%d != code %d/%d/%d",
+				c, cd.N(), cd.K(), cd.Parity(), c.N(), c.K(), c.Parity())
+		}
+		if c.Codec8() != cd {
+			t.Errorf("%v: Codec8 not cached", c)
+		}
+	}
+	// KP4 lives in GF(2^10): outside the byte-domain envelope.
+	if KP4().Codec8() != nil {
+		t.Error("KP4 (m=10) should have no byte-domain fast codec")
+	}
+}
+
+// TestCodec8EncodeParityMatchesLFSR pins the contrib-table encoder
+// against the general LFSR encoder (Code.EncodeTo) on random data,
+// including short data slices whose implicit zero padding must
+// contribute nothing.
+func TestCodec8EncodeParityMatchesLFSR(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, c := range codec8Codes(t) {
+		cd := c.Codec8()
+		n, k, np := c.N(), c.K(), c.Parity()
+		ref := make([]int, n)
+		data := make([]int, k)
+		parity := make([]byte, np)
+		for trial := 0; trial < 200; trial++ {
+			dlen := 1 + rng.Intn(k) // short slices exercise the padding
+			if trial%4 == 0 {
+				dlen = k
+			}
+			dataB := make([]byte, dlen)
+			rng.Read(dataB)
+			for i := range data {
+				data[i] = 0
+				if i < dlen {
+					data[i] = int(dataB[i])
+				}
+			}
+			if err := c.EncodeTo(ref, data); err != nil {
+				t.Fatalf("%v: EncodeTo: %v", c, err)
+			}
+			cd.EncodeParity(parity, dataB)
+			for j := 0; j < np; j++ {
+				if int(parity[j]) != ref[j] {
+					t.Fatalf("%v trial %d (dlen %d): parity[%d] = %d, LFSR says %d",
+						c, trial, dlen, j, parity[j], ref[j])
+				}
+			}
+		}
+	}
+}
+
+// TestCodec8CleanIsCodewordTest checks that Clean accepts exactly the
+// codewords: every encode output passes, and any single-byte corruption
+// fails (distance ≥ np+1 > 1 for all these codes).
+func TestCodec8CleanIsCodewordTest(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, c := range codec8Codes(t) {
+		cd := c.Codec8()
+		n, k := c.N(), c.K()
+		for trial := 0; trial < 100; trial++ {
+			data := make([]byte, k)
+			rng.Read(data)
+			block := make([]byte, n)
+			cd.EncodeParity(block[:n-k], data)
+			copy(block[n-k:], data)
+			if !cd.Clean(block) {
+				t.Fatalf("%v: Clean rejected a codeword", c)
+			}
+			pos := rng.Intn(n)
+			block[pos] ^= byte(1 + rng.Intn(255))
+			if cd.Clean(block) {
+				t.Fatalf("%v: Clean accepted a corrupted block (byte %d)", c, pos)
+			}
+		}
+	}
+}
+
+// TestCodec8DecodeMatchesReference drives the stack-array decoder and
+// the general int-symbol decoder over identical received words with
+// 0..t+2 errors — spanning clean, correctable, and overloaded blocks,
+// the beyond-t patterns included — and requires identical bytes,
+// correction counts, and accept/reject decisions.
+func TestCodec8DecodeMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, c := range codec8Codes(t) {
+		cd := c.Codec8()
+		n, k := c.N(), c.K()
+		for trial := 0; trial < 300; trial++ {
+			data := make([]int, k)
+			for i := range data {
+				data[i] = rng.Intn(256)
+			}
+			cw, err := c.Encode(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nerr := rng.Intn(c.T() + 3)
+			recv := append([]int(nil), cw...)
+			for _, pos := range rng.Perm(n)[:nerr] {
+				recv[pos] ^= 1 + rng.Intn(255)
+			}
+			refOut, refCorr, refErr := c.DecodeErasures(append([]int(nil), recv...), nil)
+
+			blk := make([]byte, n)
+			for i, s := range recv {
+				blk[i] = byte(s)
+			}
+			got := append([]byte(nil), blk...)
+			corr, err := cd.Decode(got)
+			if (err != nil) != (refErr != nil) {
+				t.Fatalf("%v trial %d (%d errors): codec err %v, reference err %v",
+					c, trial, nerr, err, refErr)
+			}
+			if err != nil {
+				if !errors.Is(err, ErrTooManyErrors) {
+					t.Fatalf("%v: unexpected error type %v", c, err)
+				}
+				// Uncorrectable: the block must be exactly as received.
+				if !bytes.Equal(got, blk) {
+					t.Fatalf("%v trial %d: failed decode modified the block", c, trial)
+				}
+				continue
+			}
+			if corr != refCorr {
+				t.Fatalf("%v trial %d (%d errors): corrections %d, reference %d",
+					c, trial, nerr, corr, refCorr)
+			}
+			for i := range refOut {
+				if int(got[i]) != refOut[i] {
+					t.Fatalf("%v trial %d: byte %d is %d, reference %d",
+						c, trial, i, got[i], refOut[i])
+				}
+			}
+		}
+	}
+}
+
+func TestCachedCodeSharesInstances(t *testing.T) {
+	a, err := Lite(68, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Lite(68, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("Lite(68,64) returned distinct codes; want one shared instance")
+	}
+	if KP4() != KP4() || KR4() != KR4() {
+		t.Error("KP4/KR4 not cached")
+	}
+	if _, err := Lite(3, 5); err == nil {
+		t.Error("Lite(3,5) (k >= n) should error")
+	}
+}

@@ -15,6 +15,7 @@ package rs
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"mosaic/internal/coding/gf"
 )
@@ -27,6 +28,11 @@ type Code struct {
 	t     int   // correctable symbol errors = (n-k)/2
 	fcr   int   // first consecutive root exponent (alpha^fcr ... )
 	gen   []int // generator polynomial, degree n-k, low-to-high
+
+	// Lazily built byte-domain fast codec (codec8.go); nil outside its
+	// envelope. Guarded by fast8Once so concurrent lanes share one build.
+	fast8Once sync.Once
+	fast8     *Codec8
 }
 
 // New builds RS(n,k) over the given field with first consecutive root
@@ -60,17 +66,55 @@ func MustNew(field *gf.Field, n, k, fcr int) *Code {
 	return c
 }
 
+// codeCache shares Code instances for the canonical constructors below.
+// A Code is immutable after construction (the lazily-built Codec8 hides
+// behind a sync.Once), so handing every caller the same pointer is safe
+// and means the generator polynomial and the Codec8's contribution
+// tables are built once per process instead of once per link.
+var codeCache sync.Map // (m<<32 | n<<16 | k) -> *Code
+
+func cachedCode(m, n, k int) (*Code, error) {
+	key := uint64(m)<<32 | uint64(n)<<16 | uint64(k)
+	if c, ok := codeCache.Load(key); ok {
+		return c.(*Code), nil
+	}
+	f, err := gf.Default(m)
+	if err != nil {
+		return nil, err
+	}
+	c, err := New(f, n, k, 0)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := codeCache.LoadOrStore(key, c)
+	return actual.(*Code), nil
+}
+
 // KP4 returns RS(544,514) over GF(2^10): t=15, the 100G-per-lane Ethernet
 // FEC (IEEE 802.3 clause 91/161 class).
-func KP4() *Code { return MustNew(gf.MustNew(10), 544, 514, 0) }
+func KP4() *Code {
+	c, err := cachedCode(10, 544, 514)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
 
 // KR4 returns RS(528,514) over GF(2^10): t=7.
-func KR4() *Code { return MustNew(gf.MustNew(10), 528, 514, 0) }
+func KR4() *Code {
+	c, err := cachedCode(10, 528, 514)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
 
 // Lite returns a short byte-oriented RS(n,k) over GF(2^8) suitable as a
 // lightweight per-channel FEC (e.g. Lite(68,64) corrects t=2 bytes per
-// 68-byte block at 6.25%% overhead).
-func Lite(n, k int) (*Code, error) { return New(gf.MustNew(8), n, k, 0) }
+// 68-byte block at 6.25%% overhead). Every Lite code shares the
+// process-wide GF(2^8) field — and the Code itself is cached, so the
+// Codec8 fast-path tables behind it are built once per process.
+func Lite(n, k int) (*Code, error) { return cachedCode(8, n, k) }
 
 // N returns the codeword length in symbols.
 func (c *Code) N() int { return c.n }

@@ -38,6 +38,14 @@ type LinkReport struct {
 // Evaluate runs the analog link budget for every channel, applying
 // manufacturing variation drawn deterministically from the design seed.
 func (d Design) Evaluate() (LinkReport, error) {
+	return d.evaluate(true)
+}
+
+// evaluate runs the per-channel link budget; withMargin selects the full
+// Evaluate (margin bisection included) or the ~50x cheaper EvaluateBasic.
+// The variation draw sequence and every non-margin figure are identical
+// either way, so a BER-only caller sees the exact same channel population.
+func (d Design) evaluate(withMargin bool) (LinkReport, error) {
 	if err := d.Validate(); err != nil {
 		return LinkReport{}, err
 	}
@@ -56,7 +64,13 @@ func (d Design) Evaluate() (LinkReport, error) {
 			rep.DeadCount++
 		} else {
 			p := d.channelParams(d.LengthM, s)
-			res, err := p.Evaluate()
+			var res channel.Result
+			var err error
+			if withMargin {
+				res, err = p.Evaluate()
+			} else {
+				res, err = p.EvaluateBasic()
+			}
 			if err != nil {
 				return LinkReport{}, fmt.Errorf("core: channel %d: %w", i, err)
 			}
@@ -170,9 +184,11 @@ func (d Design) Availability(mttrHours float64) (float64, error) {
 }
 
 // BuildPHY instantiates the bit-true PHY link with per-channel BERs drawn
-// from the analog evaluation (same seed => same channel population).
+// from the analog evaluation (same seed => same channel population). Only
+// Dead/BER feed the PHY, so the margin-free evaluation suffices — the
+// channel population is bit-identical to the full Evaluate's.
 func (d Design) BuildPHY() (*phy.Link, error) {
-	rep, err := d.Evaluate()
+	rep, err := d.evaluate(false)
 	if err != nil {
 		return nil, err
 	}

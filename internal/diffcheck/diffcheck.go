@@ -9,8 +9,11 @@
 // The stages mirror the pipeline decomposition:
 //
 //	scrambler  — x^58 scrambler/descrambler vs bit-history reference
+//	bsc_skip   — geometric skip-sampling channel vs bit-walking twin
 //	rs_encode  — LFSR RS encoder vs root-condition linear solve
 //	rs_decode  — BM/Chien/Forney decoder vs brute-force subset search
+//	rs_vector  — vectorized byte-stream RS (table-XOR encode, clean
+//	             shortcut, parity-verified extract) vs reference byte FEC
 //	framer     — channel framer hunt/FEC/CRC vs field-by-field reference
 //	striper    — stripe index arithmetic vs explicit unit dealing
 //	mac_frame  — MAC deframer (v1 and v2 headers) vs naive scanner
@@ -38,7 +41,7 @@ const DefaultSize = 8
 
 // StageNames lists every differential stage in pipeline order.
 var StageNames = []string{
-	"scrambler", "rs_encode", "rs_decode", "framer",
+	"scrambler", "bsc_skip", "rs_encode", "rs_decode", "rs_vector", "framer",
 	"striper", "mac_frame", "mac_llr", "mac_sr", "mac_vc", "pipeline",
 }
 
@@ -142,8 +145,10 @@ type stageFunc func(seed int64, caseIdx, size, workers int) string
 
 var stageFuncs = map[string]stageFunc{
 	"scrambler": diffScrambler,
+	"bsc_skip":  diffBSCSkip,
 	"rs_encode": diffRSEncode,
 	"rs_decode": diffRSDecode,
+	"rs_vector": diffRSVector,
 	"framer":    diffFramer,
 	"striper":   diffStriper,
 	"mac_frame": diffMACFrame,

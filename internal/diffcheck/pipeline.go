@@ -165,7 +165,7 @@ func diffPipeline(seed int64, caseIdx, size, workers int) string {
 	total := lanes + spares
 	replicas := make([]*phy.BSC, total)
 	for i := range replicas {
-		replicas[i] = phy.NewBSC(0, rand.New(rand.NewSource(linkSeed+int64(i)*7919)))
+		replicas[i] = phy.NewBSC(0, linkSeed+int64(i)*7919)
 	}
 	setBER := func(ch int, ber float64) {
 		link.SetChannelBER(ch, ber)

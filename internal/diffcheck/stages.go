@@ -3,6 +3,7 @@ package diffcheck
 import (
 	"bytes"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"mosaic/internal/coding/linecode"
@@ -292,6 +293,131 @@ func diffMACFrame(seed int64, caseIdx, size, _ int) string {
 		o, r := optFrames[i], refFrames[i]
 		if o.Flags != r.Flags || o.VC != r.VC || o.Seq != r.Seq || o.Ack != r.Ack || !bytes.Equal(o.Payload, r.Payload) {
 			return fmt.Sprintf("deframed frame %d differs", i)
+		}
+	}
+	return ""
+}
+
+// diffBSCSkip checks the geometric skip-sampling channel against the
+// bit-walking reference twin: same seed, same knobs, byte-identical
+// output. Edge regimes are drawn explicitly — ber 0 (clean), ber beyond
+// the constructor clamp (every bit flips, no draws), a ber so small the
+// first gap overshoots the whole stream, plus skew prefixes and dead
+// channels — and two back-to-back transmissions pin the generator state
+// carried between calls.
+func diffBSCSkip(seed int64, caseIdx, size, _ int) string {
+	rng := rand.New(rand.NewSource(caseSeed(seed, caseIdx)))
+	data := make([]byte, 1+rng.Intn(128*size))
+	rng.Read(data)
+	var ber float64
+	switch rng.Intn(6) {
+	case 0:
+		ber = 0
+	case 1:
+		ber = 1 // past the clamp, set via the public field below
+	case 2:
+		ber = 1e-12 // expected gap of ~10^12 bits: overshoots any frame
+	case 3:
+		ber = 0.5
+	default:
+		ber = math.Pow(10, -1-6*rng.Float64())
+	}
+	chanSeed := rng.Int63()
+	skew := rng.Intn(17)
+	dead := rng.Intn(8) == 0
+
+	opt := phy.NewBSC(ber, chanSeed)
+	ref := refmodel.NewBSC(ber, chanSeed)
+	opt.BER, ref.BER = ber, ber // bypass the constructor clamp for ber=1
+	opt.SkewBytes, ref.SkewBytes = skew, skew
+	opt.Dead, ref.Dead = dead, dead
+
+	for round := 0; round < 2; round++ {
+		optOut := opt.Transmit(data)
+		refOut := ref.Transmit(data)
+		if len(optOut) != len(refOut) {
+			return fmt.Sprintf("round %d: output length %d optimized, %d reference", round, len(optOut), len(refOut))
+		}
+		if i := firstDiff(optOut, refOut); i >= 0 {
+			return fmt.Sprintf("round %d (ber=%g skew=%d dead=%v): byte %d is %02x optimized, %02x reference",
+				round, ber, skew, dead, i, optOut[i], refOut[i])
+		}
+	}
+	return ""
+}
+
+// diffRSVector checks the vectorized byte-stream RS path — table-XOR
+// slice encode, clean-shortcut decode, and the parity-verified extract —
+// against the reference byte FEC over multi-block streams with 0..np+2
+// errors per block (spanning clean, correctable, and overloaded words).
+func diffRSVector(seed int64, caseIdx, size, _ int) string {
+	rng := rand.New(rand.NewSource(caseSeed(seed, caseIdx)))
+	n, k := rsParams(rng)
+	np := n - k
+	refCode, err := refmodel.NewRS(n, k, 0)
+	if err != nil {
+		return "reference construction: " + err.Error()
+	}
+	ref := &refmodel.RSByteFEC{Code: refCode}
+	code, err := rs.Lite(n, k)
+	if err != nil {
+		return "optimized construction: " + err.Error()
+	}
+	opt := phy.NewRSFEC(code)
+
+	blocks := 1 + rng.Intn(3)
+	plainLen := 1 + rng.Intn(blocks*k)
+	plain := make([]byte, plainLen)
+	rng.Read(plain)
+
+	optEnc := opt.Encode(plain)
+	refEnc := ref.Encode(plain)
+	if i := firstDiff(optEnc, refEnc); i >= 0 {
+		return fmt.Sprintf("RS(%d,%d) plainLen %d: encoded byte %d is %02x optimized, %02x reference",
+			n, k, plainLen, i, optEnc[i], refEnc[i])
+	}
+
+	// The clean stream must take the extract shortcut and reproduce the
+	// plaintext (zero-padded tail excluded by plainLen).
+	if ext, ok := opt.AppendExtract(nil, optEnc, plainLen); !ok {
+		return fmt.Sprintf("RS(%d,%d): extract rejected a clean stream", n, k)
+	} else if i := firstDiff(ext, plain); i >= 0 {
+		return fmt.Sprintf("RS(%d,%d): clean extract byte %d is %02x, want %02x", n, k, i, ext[i], plain[i])
+	}
+
+	// Corrupt each block independently with 0..np+2 byte errors.
+	recv := append([]byte(nil), optEnc...)
+	total := 0
+	for b := 0; b+n <= len(recv); b += n {
+		nerr := rng.Intn(np + 3)
+		total += nerr
+		for _, pos := range rng.Perm(n)[:nerr] {
+			recv[b+pos] ^= byte(1 + rng.Intn(255))
+		}
+	}
+	optOut, optCorr, optErr := opt.Decode(recv, plainLen)
+	refOut, refCorr, refStatus := ref.Decode(append([]byte(nil), recv...), plainLen)
+	if i := firstDiff(optOut, refOut); i >= 0 {
+		return fmt.Sprintf("RS(%d,%d) %d errors: decoded byte %d is %02x optimized, %02x reference",
+			n, k, total, i, optOut[i], refOut[i])
+	}
+	if optCorr != refCorr {
+		return fmt.Sprintf("RS(%d,%d) %d errors: corrections %d optimized, %d reference", n, k, total, optCorr, refCorr)
+	}
+	if (optErr != nil) != (refStatus == refmodel.FECOverload) {
+		return fmt.Sprintf("RS(%d,%d) %d errors: overload %v optimized, %v reference",
+			n, k, total, optErr != nil, refStatus == refmodel.FECOverload)
+	}
+	// The extract shortcut may only accept when every block is a clean
+	// codeword — in which case the full decode above saw zero corrections
+	// and no overload, and the bytes must agree with it.
+	if ext, ok := opt.AppendExtract(nil, recv, plainLen); ok {
+		if optCorr != 0 || optErr != nil {
+			return fmt.Sprintf("RS(%d,%d): extract accepted a stream the decoder had to repair (%d corrections, overload %v)",
+				n, k, optCorr, optErr != nil)
+		}
+		if i := firstDiff(ext, optOut); i >= 0 {
+			return fmt.Sprintf("RS(%d,%d): extract byte %d is %02x, decode says %02x", n, k, i, ext[i], optOut[i])
 		}
 	}
 	return ""

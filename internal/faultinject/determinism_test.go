@@ -20,7 +20,12 @@ import (
 // correlated), proactive maintenance, spare exhaustion, and degradation.
 
 // goldenSoakSHA is sha256[:8] of the scenario's joined log + summary.
-const goldenSoakSHA = "c7d7a37d93c2aa17"
+// Re-pinned when the BSC moved to the spec'd xoshiro256++ stream with
+// geometric skip-sampling (the noise draw sequence changed, the channel
+// model did not); the run was certified by a clean verify-deep pass and
+// the scenario still exercises every event kind, proactive maintenance,
+// spare exhaustion, and degradation — see the milestone spot-checks.
+const goldenSoakSHA = "4a51bb45f333f4cb"
 
 // runGoldenSoak executes the pinned scenario at the given worker count.
 // reg may be nil; the golden hash must not depend on it (telemetry is
@@ -74,8 +79,8 @@ func TestSoakDeterminismAcrossWorkerCounts(t *testing.T) {
 			}
 			// Spot-check the milestones the hash pins, so a drift failure
 			// reports something human-readable too.
-			if res.Remaps != 5 || res.MaintenanceActions != 1 {
-				t.Errorf("remaps=%d maintenance=%d, want 5/1", res.Remaps, res.MaintenanceActions)
+			if res.Remaps != 4 || res.MaintenanceActions != 1 {
+				t.Errorf("remaps=%d maintenance=%d, want 4/1", res.Remaps, res.MaintenanceActions)
 			}
 			if res.FirstDropSF != 3 || res.DegradedSF != 30 || res.SpareExhaustSF != 30 {
 				t.Errorf("milestones first-drop=%d degraded=%d exhausted=%d, want 3/30/30",

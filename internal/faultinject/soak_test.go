@@ -150,7 +150,7 @@ func TestSoakBurstRecoversWithoutSparing(t *testing.T) {
 	// channel may classify degraded, but nothing is spared and the BER
 	// returns to the pre-burst value.
 	sched := Schedule{Events: []Event{
-		{At: 5, Kind: KindBurst, Channel: 7, BER: 3e-4, Duration: 4},
+		{At: 5, Kind: KindBurst, Channel: 7, BER: 5e-4, Duration: 4},
 	}}
 	link := soakLinkFEC(t, 2, 1, phy.NewRSLite())
 	res := runSoak(t, link, sched, 20, 0)

@@ -55,7 +55,7 @@ func (l *Link) ProbeChannel(physical, count int) (ok, corrections int) {
 	if physical < 0 || physical >= len(l.channels) || count <= 0 {
 		return 0, 0
 	}
-	ch := l.channels[physical]
+	ch := &l.channels[physical]
 	ps := &l.probe
 	if cap(ps.payload) < l.framer.PayloadLen() {
 		ps.payload = make([]byte, l.framer.PayloadLen())

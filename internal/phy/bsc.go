@@ -9,58 +9,101 @@
 // internal/channel.
 package phy
 
-import (
-	"math"
-	"math/rand"
-)
+import "math"
+
+// chanRNG is the per-channel random stream: xoshiro256++ seeded through
+// splitmix64. It replaces math/rand here for two reasons that matter at
+// fleet scale: a generator is a 32-byte value embedded in its BSC (no
+// per-channel heap allocation, no 4.8 KiB lagged-Fibonacci table to seed),
+// and the algorithm is pinned by this repo rather than by the Go runtime,
+// so the channel noise byte streams are part of the simulation spec — the
+// naive twin in internal/refmodel re-implements the same two algorithms
+// independently and the bsc_skip diffcheck stage holds the two in lockstep.
+type chanRNG struct {
+	s [4]uint64
+}
+
+// seedChanRNG initializes the state with splitmix64, the reference seeder
+// for xoshiro generators (never yields the all-zero state).
+func seedChanRNG(seed int64) chanRNG {
+	var r chanRNG
+	x := uint64(seed)
+	for i := range r.s {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+// Uint64 advances xoshiro256++.
+func (r *chanRNG) Uint64() uint64 {
+	s := &r.s
+	x := s[0] + s[3]
+	out := (x<<23 | x>>41) + s[0]
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = s[3]<<45 | s[3]>>19
+	return out
+}
+
+// Float64 returns a uniform float in [0, 1) with 53 random bits.
+func (r *chanRNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Byte returns a uniform byte (the top bits of the state, per the
+// xoshiro authors' guidance that high bits have the best equidistribution).
+func (r *chanRNG) Byte() byte {
+	return byte(r.Uint64() >> 56)
+}
 
 // BSC is a binary symmetric channel: each transmitted bit flips with
 // probability BER. Dead channels emit noise. A skew of up to SkewBytes
 // random bytes precedes the stream, modelling per-channel path-length and
 // serialization skew (the receiver must hunt for frame alignment).
+//
+// Errors are placed by geometric skip-sampling: instead of a Bernoulli
+// coin per bit, the channel draws the gap to the next flipped bit
+// (geometric with parameter BER, by inversion) and jumps straight to it,
+// so an exchange touches only the bytes that actually take an error —
+// O(errors), not O(bits). One uniform draw is consumed per error (plus
+// the final overshooting draw), which is the draw discipline the
+// refmodel twin reproduces bit-serially.
 type BSC struct {
 	BER       float64
 	SkewBytes int
 	Dead      bool
 
-	rng *rand.Rand
+	rng chanRNG
 }
 
 // NewBSC returns a channel with the given bit error rate and its own
-// deterministic random stream.
-func NewBSC(ber float64, rng *rand.Rand) *BSC {
+// deterministic random stream derived from seed.
+func NewBSC(ber float64, seed int64) *BSC {
+	b := &BSC{}
+	b.init(ber, seed)
+	return b
+}
+
+// init seeds a BSC in place (the link embeds its channels by value).
+func (c *BSC) init(ber float64, seed int64) {
 	if ber < 0 {
 		ber = 0
 	}
 	if ber > 0.5 {
 		ber = 0.5
 	}
-	return &BSC{BER: ber, rng: rng}
-}
-
-// poisson draws a Poisson-distributed count with the given mean using
-// inversion for small means and a normal approximation for large ones.
-func poisson(rng *rand.Rand, lambda float64) int {
-	if lambda <= 0 {
-		return 0
-	}
-	if lambda > 50 {
-		// Normal approximation, clamped at zero.
-		n := int(math.Round(lambda + math.Sqrt(lambda)*rng.NormFloat64()))
-		if n < 0 {
-			n = 0
-		}
-		return n
-	}
-	l := math.Exp(-lambda)
-	k, p := 0, 1.0
-	for {
-		p *= rng.Float64()
-		if p <= l {
-			return k
-		}
-		k++
-	}
+	c.BER = ber
+	c.SkewBytes = 0
+	c.Dead = false
+	c.rng = seedChanRNG(seed)
 }
 
 // Transmit passes data through the channel and returns the received bytes
@@ -85,27 +128,45 @@ func (c *BSC) TransmitTo(dst, data []byte) []byte {
 	dst = dst[:base+need]
 	out := dst[base:]
 	for i := 0; i < c.SkewBytes; i++ {
-		out[i] = byte(c.rng.Intn(256))
+		out[i] = c.rng.Byte()
 	}
 	body := out[c.SkewBytes:]
 	copy(body, data)
 	if c.Dead {
 		// A dead transmitter: the receiver slices at the noise floor.
 		for i := range body {
-			body[i] = byte(c.rng.Intn(256))
+			body[i] = c.rng.Byte()
 		}
 		return dst
 	}
-	if c.BER <= 0 || len(body) == 0 {
+	p := c.BER
+	if p <= 0 || len(body) == 0 {
 		return dst
 	}
-	nbits := float64(len(body)) * 8
-	// For low BER, draw the number of errors (binomial ~= Poisson) and
-	// place them uniformly; far cheaper than a coin per bit.
-	nerr := poisson(c.rng, nbits*c.BER)
-	for e := 0; e < nerr; e++ {
-		pos := c.rng.Intn(len(body) * 8)
-		body[pos/8] ^= 1 << uint(pos%8)
+	if p >= 1 {
+		// Degenerate channel: every bit flips, no draws consumed.
+		// (NewBSC clamps to 0.5, but BER is a public knob.)
+		for i := range body {
+			body[i] ^= 0xff
+		}
+		return dst
 	}
-	return dst
+	// Geometric skip-sampling: the gap to the next error is
+	// floor(log(1-u)/log(1-p)). Gaps are compared in float space before
+	// conversion so a tiny p (astronomical gaps) cannot overflow int.
+	logq := math.Log1p(-p)
+	nbits := len(body) * 8
+	bit := 0
+	for {
+		gap := math.Floor(math.Log1p(-c.rng.Float64()) / logq)
+		if gap >= float64(nbits-bit) {
+			return dst
+		}
+		bit += int(gap)
+		body[bit>>3] ^= 1 << uint(bit&7)
+		bit++
+		if bit >= nbits {
+			return dst
+		}
+	}
 }

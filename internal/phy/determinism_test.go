@@ -11,9 +11,16 @@ import (
 
 // The staged pipeline must be bit-deterministic: for a fixed Config.Seed,
 // the delivered frames and every statistic are identical no matter how
-// many pool workers run the per-lane stage. The golden values below were
-// captured from the pre-refactor implementation (goroutine-per-lane,
-// allocation-heavy), so they also pin the refactor to the seed behaviour.
+// many pool workers run the per-lane stage. The noise-free golden values
+// below date back to the pre-refactor implementation (goroutine-per-lane,
+// allocation-heavy); the noise-dependent cases were re-pinned when the
+// BSC moved from math/rand + Poisson error counts to the spec'd
+// xoshiro256++ stream with geometric skip-sampling — the draw sequence
+// changed, the channel model did not. default-clean consumes no random
+// draws and is untouched, and the re-pinned values were certified by a
+// clean verify-deep run (the pipeline diffcheck stage replays the same
+// noise through the naive reference pipeline byte-for-byte, swept across
+// worker counts).
 
 type goldenCase struct {
 	name    string
@@ -45,8 +52,8 @@ var goldenCases = []goldenCase{
 			return c
 		},
 		nframes: 60, size: 1500, ber: 2e-4,
-		wantSHA: "f8324a55622bad93", wantDelivered: 177, wantCorrupted: 3,
-		wantUnitsLost: 3, wantCorrections: 553, wantWire: 347706,
+		wantSHA: "e528091caf78c249", wantDelivered: 175, wantCorrupted: 4,
+		wantUnitsLost: 4, wantCorrections: 563, wantWire: 347706,
 	},
 	{
 		name: "fail-remap",
@@ -59,7 +66,7 @@ var goldenCases = []goldenCase{
 		},
 		nframes: 40, size: 900, ber: 1e-5, failMid: true,
 		wantSHA: "4ff99f2a1c12bebb", wantDelivered: 120,
-		wantCorrections: 11, wantWire: 140562,
+		wantCorrections: 17, wantWire: 140562,
 	},
 	{
 		name: "conventional",
@@ -69,7 +76,8 @@ var goldenCases = []goldenCase{
 			return c
 		},
 		nframes: 30, size: 1200, ber: 1e-6,
-		wantSHA: "741b5d35ba10d37b", wantDelivered: 90, wantWire: 552630,
+		wantSHA: "741b5d35ba10d37b", wantDelivered: 90,
+		wantCorrections: 4, wantWire: 552630,
 	},
 }
 

@@ -174,8 +174,16 @@ func (HammingFEC) AppendDecode(out, encoded []byte, plainLen int) ([]byte, int, 
 type RSFEC struct {
 	code     *rs.Code
 	symBytes int
+	// fast is the byte-domain table-driven codec (rs.Codec8) for GF(2^8)
+	// codes with ≤8 parity symbols — the RS-lite class. When non-nil,
+	// AppendEncode/AppendDecode skip the int-symbol staging entirely:
+	// encode streams parity straight into dst via the packed-uint64 LFSR,
+	// decode syndrome-checks the wire bytes in place and only a dirty
+	// block is copied (to a stack buffer) for the allocation-free full
+	// decode. Larger codes (KP4/KR4 over GF(2^10)) keep the general path.
+	fast *rs.Codec8
 	// scratch pools per-call symbol buffers so the concurrent per-lane
-	// workers share one allocation-free codec.
+	// workers share one allocation-free codec on the general path.
 	scratch sync.Pool
 }
 
@@ -208,7 +216,7 @@ func NewRSFEC(c *rs.Code) *RSFEC {
 	if c.Field().Size() > 256 {
 		sb = 2
 	}
-	f := &RSFEC{code: c, symBytes: sb}
+	f := &RSFEC{code: c, symBytes: sb, fast: c.Codec8()}
 	f.scratch.New = func() any {
 		return &rsScratch{
 			word: make([]int, c.N()),
@@ -268,6 +276,26 @@ func (r *RSFEC) AppendEncode(dst, plain []byte) []byte {
 		dst = grown
 	}
 	dst = dst[:base+need]
+	if r.fast != nil {
+		np := n - k
+		for b := 0; b < blocks; b++ {
+			off := base + b*n
+			lo := b * k
+			hi := lo + k
+			if hi > len(plain) {
+				hi = len(plain)
+			}
+			data := plain[lo:hi]
+			r.fast.EncodeParity(dst[off:off+np], data)
+			copy(dst[off+np:], data)
+			// Tail-block padding must be zero on the wire (dst may hold
+			// stale bytes from a previous use of the buffer).
+			for i := off + np + len(data); i < off+n; i++ {
+				dst[i] = 0
+			}
+		}
+		return dst
+	}
 	sc := r.scratch.Get().(*rsScratch)
 	syms := sc.word[:k]
 	for b := 0; b < blocks; b++ {
@@ -291,6 +319,55 @@ func (r *RSFEC) AppendEncode(dst, plain []byte) []byte {
 	return dst
 }
 
+// dataExtractor is the optional FEC fast path used by the framer's scan:
+// AppendExtract pulls the systematic data bytes out of the encoded
+// stream, verifying as it goes that every block is a codeword (without
+// touching the stream). ok=true means the extraction IS the decode —
+// zero corrections, no overloads, bit-identical to what AppendDecode
+// would return for the same bytes. ok=false (any dirty block, or the
+// layout isn't extractable) means the caller must run the full
+// AppendDecode; dst then holds partial garbage to be discarded.
+type dataExtractor interface {
+	AppendExtract(dst, encoded []byte, plainLen int) ([]byte, bool)
+}
+
+// AppendExtract implements dataExtractor for byte-symbol systematic RS
+// codes: each block is parity-first, so the data bytes are copied
+// straight out; the block is proven clean by re-encoding its parity from
+// the data (a codeword's parity is exactly the encoder's output, so one
+// table-XOR encode pass replaces the np-pass syndrome check). Returns
+// ok=false outside the fast envelope, on a truncated stream, or on the
+// first dirty block.
+func (r *RSFEC) AppendExtract(dst, encoded []byte, plainLen int) ([]byte, bool) {
+	if r.fast == nil {
+		return dst, false
+	}
+	k, n := r.code.K(), r.code.N()
+	np := n - k
+	blocks := (plainLen + k - 1) / k
+	if len(encoded) < blocks*n {
+		return dst, false
+	}
+	start := len(dst)
+	var parity [8]byte
+	for b := 0; b < blocks; b++ {
+		block := encoded[b*n : (b+1)*n]
+		src := block[np:]
+		r.fast.EncodeParity(parity[:np], src)
+		for j := 0; j < np; j++ {
+			if parity[j] != block[j] {
+				return dst, false
+			}
+		}
+		take := k
+		if rem := start + plainLen - len(dst); take > rem {
+			take = rem
+		}
+		dst = append(dst, src[:take]...)
+	}
+	return dst, true
+}
+
 // Decode implements FEC.
 func (r *RSFEC) Decode(encoded []byte, plainLen int) ([]byte, int, error) {
 	return r.AppendDecode(make([]byte, 0, plainLen), encoded, plainLen)
@@ -307,6 +384,38 @@ func (r *RSFEC) AppendDecode(dst, encoded []byte, plainLen int) ([]byte, int, er
 	start := len(dst)
 	corrections := 0
 	var firstErr error
+	if r.fast != nil {
+		np := n - k
+		for b := 0; b < blocks; b++ {
+			block := encoded[b*n : (b+1)*n]
+			src := block[np:]
+			if !r.fast.Clean(block) {
+				// Dirty block: decode a stack copy so the received
+				// stream stays untouched (the framer may re-scan these
+				// bytes at a different alignment after a resync).
+				var blk [255]byte
+				copy(blk[:n], block)
+				ncorr, err := r.fast.Decode(blk[:n])
+				if err != nil {
+					// The sentinel alone: callers only branch on non-nil /
+					// errors.Is, and wrapping the block index here was the
+					// single largest allocation source in the whole RX path
+					// (one fmt.Errorf per overloaded frame at high BER).
+					firstErr = ErrFECOverload
+					// best effort: pass the received data through
+				} else {
+					src = blk[np:n]
+				}
+				corrections += ncorr
+			}
+			take := k
+			if rem := start + plainLen - len(dst); take > rem {
+				take = rem
+			}
+			dst = append(dst, src[:take]...)
+		}
+		return dst, corrections, firstErr
+	}
 	sc := r.scratch.Get().(*rsScratch)
 	for b := 0; b < blocks; b++ {
 		base := b * n * r.symBytes
@@ -316,10 +425,8 @@ func (r *RSFEC) AppendDecode(dst, encoded []byte, plainLen int) ([]byte, int, er
 		ncorr, err := r.code.DecodeTo(sc.cw, sc.word, sc.syn)
 		fixed := sc.cw
 		if err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("%w: block %d: %v", ErrFECOverload, b, err)
-			}
-			fixed = sc.word // best effort: pass through
+			firstErr = ErrFECOverload // sentinel only; see fast path
+			fixed = sc.word           // best effort: pass through
 		}
 		corrections += ncorr
 		data := r.code.Data(fixed)

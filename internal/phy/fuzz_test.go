@@ -99,7 +99,10 @@ func FuzzParseFramesNeverPanics(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var st ExchangeStats
 		var scratch []byte
-		frames := parseFrames(data, &st, &scratch)
+		var frames [][]byte
+		parseFrames(data, &st, &scratch, func(frame []byte) {
+			frames = append(frames, append([]byte(nil), frame...))
+		})
 		// An FCS collision on random garbage is ~2^-32 per candidate;
 		// tolerate it but verify sizes are sane.
 		for _, fr := range frames {

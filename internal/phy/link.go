@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"math/rand"
 
 	"mosaic/internal/coding/linecode"
 )
@@ -69,7 +68,7 @@ type Link struct {
 	framer   *Framer
 	mapper   *Mapper
 	monitor  *Monitor
-	channels []*BSC // indexed by physical channel
+	channels []BSC // indexed by physical channel; one contiguous slab
 
 	// Reusable pipeline state: the scrambler pair is Reset to the spec
 	// seed on every Exchange, and scratch holds the stage buffers.
@@ -77,6 +76,7 @@ type Link struct {
 	descrambler *linecode.Descrambler
 	scratch     linkScratch
 	probe       probeScratch
+	dispatch    *laneDispatcher
 
 	superframes uint64 // completed Exchange rounds
 }
@@ -108,11 +108,11 @@ func New(cfg Config) (*Link, error) {
 		scrambler:   linecode.NewScrambler(scramblerSeed),
 		descrambler: linecode.NewDescrambler(scramblerSeed),
 	}
-	l.channels = make([]*BSC, cfg.Lanes+cfg.Spares)
+	l.channels = make([]BSC, cfg.Lanes+cfg.Spares)
 	for i := range l.channels {
-		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
-		l.channels[i] = NewBSC(0, rng)
+		l.channels[i].init(0, cfg.Seed+int64(i)*7919)
 	}
+	l.dispatch = newLaneDispatcher(l.stageLaneIdx)
 	return l, nil
 }
 
@@ -129,7 +129,7 @@ func (l *Link) Monitor() *Monitor { return l.monitor }
 // SetChannelBER sets the bit error rate of a physical channel.
 func (l *Link) SetChannelBER(physical int, ber float64) {
 	if physical >= 0 && physical < len(l.channels) {
-		c := l.channels[physical]
+		c := &l.channels[physical]
 		if ber < 0 {
 			ber = 0
 		}
@@ -213,6 +213,18 @@ type ExchangeStats struct {
 	PerChannel      map[int]DecodeStats // by physical channel
 }
 
+// ExchangeBuf is a caller-owned arena for ExchangeInto: the delivered
+// frames, their backing payload bytes, and the per-channel stats map all
+// live here and are recycled on every call. One ExchangeBuf serves one
+// ExchangeInto call at a time; its contents are valid until the next call
+// that reuses it.
+type ExchangeBuf struct {
+	frames  [][]byte
+	payload []byte
+	perCh   map[int]DecodeStats
+	emit    func(frame []byte)
+}
+
 // Exchange sends user frames through the full TX → channels → RX pipeline
 // and returns the frames the far end recovered plus statistics.
 // Frames must be at least 3 bytes (they gain a 4-byte FCS and must fill
@@ -220,16 +232,62 @@ type ExchangeStats struct {
 //
 // The pipeline is staged (see pipeline.go); all buffers are reused across
 // calls and the per-lane stage runs on the persistent worker pool, so the
-// steady state allocates only the returned frames.
+// steady state allocates only the returned frames and stats map. Callers
+// that consume the delivered frames before their next call should use
+// ExchangeInto, which recycles those too and allocates nothing at all.
 func (l *Link) Exchange(frames [][]byte) ([][]byte, ExchangeStats, error) {
 	var st ExchangeStats
-	st.FramesIn = len(frames)
 	st.PerChannel = make(map[int]DecodeStats)
-
-	// --- TX: frames -> blocks -> byte stream ---
-	stream, err := l.stageEncode(frames, &st)
+	var out [][]byte
+	err := l.exchange(frames, &st, func(frame []byte) {
+		out = append(out, append([]byte(nil), frame...))
+	})
 	if err != nil {
 		return nil, st, err
+	}
+	return out, st, nil
+}
+
+// ExchangeInto is Exchange with the output arena supplied by the caller:
+// delivered frames are sub-slices of buf's payload slab and stay valid
+// only until buf's next use. After warm-up (buffers grown to the traffic
+// high-water mark) a round trip performs zero heap allocations.
+func (l *Link) ExchangeInto(buf *ExchangeBuf, frames [][]byte) ([][]byte, ExchangeStats, error) {
+	var st ExchangeStats
+	if buf.perCh == nil {
+		buf.perCh = make(map[int]DecodeStats)
+	}
+	clear(buf.perCh)
+	st.PerChannel = buf.perCh
+	buf.frames = buf.frames[:0]
+	buf.payload = buf.payload[:0]
+	if buf.emit == nil {
+		buf.emit = func(frame []byte) {
+			start := len(buf.payload)
+			buf.payload = append(buf.payload, frame...)
+			end := len(buf.payload)
+			// Three-index slice: an append through a delivered frame can
+			// never scribble over the next one.
+			buf.frames = append(buf.frames, buf.payload[start:end:end])
+		}
+	}
+	err := l.exchange(frames, &st, buf.emit)
+	if err != nil {
+		return nil, st, err
+	}
+	return buf.frames, st, nil
+}
+
+// exchange is the shared pipeline core: emit receives each delivered
+// frame as a slice into reused scratch, valid only for the duration of
+// the callback.
+func (l *Link) exchange(frames [][]byte, st *ExchangeStats, emit func(frame []byte)) error {
+	st.FramesIn = len(frames)
+
+	// --- TX: frames -> blocks -> byte stream ---
+	stream, err := l.stageEncode(frames, st)
+	if err != nil {
+		return err
 	}
 
 	// --- Scramble ---
@@ -239,38 +297,42 @@ func (l *Link) Exchange(frames [][]byte) ([][]byte, ExchangeStats, error) {
 	// --- Stripe across active lanes + per-channel transmit/decode ---
 	lanes := l.mapper.NumLanes()
 	if lanes == 0 {
-		return nil, st, errors.New("phy: link is down (no active lanes)")
+		return errors.New("phy: link is down (no active lanes)")
 	}
 	// stageEncode pads to whole units, so the stream stripes exactly.
 	totalUnits := len(stream) / l.cfg.UnitLen
 	st.UnitsTotal = totalUnits
-	states := l.scratch.laneStates(lanes)
+	maxUnits := laneUnits(totalUnits, lanes, 0)
+	states := l.scratch.prepareLanes(lanes,
+		maxUnits*l.framer.WireLen(), maxUnits, l.framer.bodyLen)
 	rxStream := l.scratch.rxStreamBuf(len(stream))
-	forEachLane(lanes, l.cfg.Workers, func(lane int) {
-		l.stageLane(lane, lanes, totalUnits, stream, rxStream, &states[lane])
-	})
+	sc := &l.scratch
+	sc.curLanes, sc.curUnits = lanes, totalUnits
+	sc.curTx, sc.curRx = stream, rxStream
+	l.dispatch.dispatch(lanes, l.cfg.Workers)
+	sc.curTx, sc.curRx = nil, nil
 
 	// --- Destripe: fold lane results serially, in lane order ---
-	l.stageFold(states, &st)
+	l.stageFold(states, st)
 
 	// --- Descramble & parse blocks back into frames ---
 	l.descrambler.Reset(scramblerSeed)
 	l.descrambler.Descramble(rxStream)
-	delivered := parseFrames(rxStream, &st, &l.scratch.parse)
-	st.FramesDelivered = len(delivered)
+	parseFrames(rxStream, st, &l.scratch.parse, emit)
 	st.FramesLost = st.FramesIn - st.FramesDelivered - st.FramesCorrupted
 	if st.FramesLost < 0 {
 		st.FramesLost = 0
 	}
 	l.superframes++
-	return delivered, st, nil
+	return nil
 }
 
 // parseFrames walks the descrambled 9-byte block stream, reassembling
 // FCS-verified frames and resynchronizing after damage. scratch is the
-// reusable frame-in-progress buffer (delivered frames are copied out).
-func parseFrames(stream []byte, st *ExchangeStats, scratch *[]byte) [][]byte {
-	var out [][]byte
+// reusable frame-in-progress buffer; every verified frame is handed to
+// emit as a slice into that buffer (copy it out to retain it) and counted
+// in st.FramesDelivered.
+func parseFrames(stream []byte, st *ExchangeStats, scratch *[]byte, emit func(frame []byte)) {
 	cur := (*scratch)[:0]
 	inFrame := false
 	for off := 0; off+9 <= len(stream); off += 9 {
@@ -312,9 +374,8 @@ func parseFrames(stream []byte, st *ExchangeStats, scratch *[]byte) [][]byte {
 			body := cur[:len(cur)-4]
 			want := binary.BigEndian.Uint32(cur[len(cur)-4:])
 			if crc32.ChecksumIEEE(body) == want {
-				frame := make([]byte, len(body))
-				copy(frame, body)
-				out = append(out, frame)
+				emit(body)
+				st.FramesDelivered++
 			} else {
 				st.FramesCorrupted++
 			}
@@ -332,5 +393,4 @@ func parseFrames(stream []byte, st *ExchangeStats, scratch *[]byte) [][]byte {
 		st.FramesCorrupted++
 	}
 	*scratch = cur[:0]
-	return out
 }

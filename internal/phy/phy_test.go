@@ -11,7 +11,7 @@ import (
 // --- BSC ---
 
 func TestBSCNoErrors(t *testing.T) {
-	c := NewBSC(0, rand.New(rand.NewSource(1)))
+	c := NewBSC(0, 1)
 	data := []byte("hello wide and slow world")
 	got := c.Transmit(data)
 	if !bytes.Equal(got, data) {
@@ -20,7 +20,7 @@ func TestBSCNoErrors(t *testing.T) {
 }
 
 func TestBSCDoesNotModifyInput(t *testing.T) {
-	c := NewBSC(0.1, rand.New(rand.NewSource(1)))
+	c := NewBSC(0.1, 1)
 	data := make([]byte, 1000)
 	snapshot := append([]byte(nil), data...)
 	c.Transmit(data)
@@ -30,7 +30,7 @@ func TestBSCDoesNotModifyInput(t *testing.T) {
 }
 
 func TestBSCErrorRate(t *testing.T) {
-	c := NewBSC(1e-3, rand.New(rand.NewSource(2)))
+	c := NewBSC(1e-3, 2)
 	data := make([]byte, 1<<18) // 2 Mbit
 	flips := 0
 	for trial := 0; trial < 4; trial++ {
@@ -50,7 +50,7 @@ func TestBSCErrorRate(t *testing.T) {
 }
 
 func TestBSCSkewPrefix(t *testing.T) {
-	c := NewBSC(0, rand.New(rand.NewSource(3)))
+	c := NewBSC(0, 3)
 	c.SkewBytes = 17
 	data := []byte("payload")
 	got := c.Transmit(data)
@@ -63,7 +63,7 @@ func TestBSCSkewPrefix(t *testing.T) {
 }
 
 func TestBSCDead(t *testing.T) {
-	c := NewBSC(0, rand.New(rand.NewSource(4)))
+	c := NewBSC(0, 4)
 	c.Dead = true
 	data := make([]byte, 1024)
 	got := c.Transmit(data)
@@ -79,30 +79,96 @@ func TestBSCDead(t *testing.T) {
 }
 
 func TestBSCClamps(t *testing.T) {
-	if NewBSC(-1, rand.New(rand.NewSource(1))).BER != 0 {
+	if NewBSC(-1, 1).BER != 0 {
 		t.Error("negative BER not clamped")
 	}
-	if NewBSC(0.9, rand.New(rand.NewSource(1))).BER != 0.5 {
+	if NewBSC(0.9, 1).BER != 0.5 {
 		t.Error("BER above 0.5 not clamped")
 	}
 }
 
-func TestPoissonMean(t *testing.T) {
-	rng := rand.New(rand.NewSource(5))
-	for _, lambda := range []float64{0.5, 5, 200} {
-		sum := 0
-		const n = 20000
-		for i := 0; i < n; i++ {
-			sum += poisson(rng, lambda)
-		}
-		mean := float64(sum) / n
-		if math.Abs(mean-lambda) > lambda*0.05+0.05 {
-			t.Errorf("poisson(%v) mean = %v", lambda, mean)
+// --- geometric skip-sampler edge regimes ---
+
+// TestBSCZeroBERConsumesNoDraws pins that a clean transmit leaves the
+// channel's random stream untouched: raising BER afterwards must yield
+// exactly the bytes a fresh channel with the same seed produces.
+func TestBSCZeroBERConsumesNoDraws(t *testing.T) {
+	data := make([]byte, 4096)
+	rand.New(rand.NewSource(13)).Read(data)
+
+	warm := NewBSC(0, 99)
+	if !bytes.Equal(warm.Transmit(data), data) {
+		t.Fatal("clean channel altered data")
+	}
+	warm.BER = 0.01
+	fresh := NewBSC(0.01, 99)
+	if !bytes.Equal(warm.Transmit(data), fresh.Transmit(data)) {
+		t.Fatal("p=0 transmit consumed random draws")
+	}
+}
+
+// TestBSCDegenerateFlipsAll checks the p >= 1 short-circuit: every bit
+// flips and, like p = 0, no draws are consumed.
+func TestBSCDegenerateFlipsAll(t *testing.T) {
+	data := make([]byte, 257)
+	rand.New(rand.NewSource(14)).Read(data)
+
+	c := NewBSC(0, 42)
+	c.BER = 1 // past the constructor clamp, exercising the public knob
+	got := c.Transmit(data)
+	for i := range got {
+		if got[i] != data[i]^0xff {
+			t.Fatalf("byte %d: %02x, want all bits flipped (%02x)", i, got[i], data[i]^0xff)
 		}
 	}
-	if poisson(rng, 0) != 0 || poisson(rng, -1) != 0 {
-		t.Error("nonpositive lambda should be 0")
+	c.BER = 0.25
+	fresh := NewBSC(0.25, 42)
+	if !bytes.Equal(c.Transmit(data), fresh.Transmit(data)) {
+		t.Fatal("p>=1 transmit consumed random draws")
 	}
+}
+
+// TestBSCTinyBERGapOvershootsFrame: at p = 1e-15 the expected gap to the
+// first error is ~10^15 bits, astronomically past any frame, so the
+// sampler's first draw must overshoot and leave the data untouched —
+// with no intermediate work and no int overflow from the huge float gap.
+func TestBSCTinyBERGapOvershootsFrame(t *testing.T) {
+	data := make([]byte, 1<<16)
+	rand.New(rand.NewSource(15)).Read(data)
+	c := NewBSC(1e-15, 7)
+	for round := 0; round < 8; round++ {
+		if !bytes.Equal(c.Transmit(data), data) {
+			t.Fatalf("round %d: tiny-p channel flipped a bit in a 64 KiB frame "+
+				"(probability ~5e-10 per round; a flip means the gap math broke)", round)
+		}
+	}
+}
+
+// TestBSCSkipSamplingMatchesBernoulliRate checks the sampler is still a
+// faithful BSC at moderate p: the realized flip rate over a long stream
+// must sit near p (law of large numbers, 6-sigma band).
+func TestBSCSkipSamplingMatchesBernoulliRate(t *testing.T) {
+	const p = 1e-3
+	data := make([]byte, 1<<20)
+	got := NewBSC(p, 21).Transmit(data)
+	flips := 0
+	for i := range got {
+		flips += popcount8(got[i] ^ data[i])
+	}
+	nbits := float64(len(data) * 8)
+	mean := p * nbits
+	sigma := math.Sqrt(nbits * p * (1 - p))
+	if d := math.Abs(float64(flips) - mean); d > 6*sigma {
+		t.Fatalf("flips = %d, want %0.f ± %0.f", flips, mean, 6*sigma)
+	}
+}
+
+func popcount8(b byte) int {
+	n := 0
+	for ; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
 }
 
 // --- Gearbox ---

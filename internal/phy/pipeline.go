@@ -26,6 +26,8 @@ import (
 // laneState is one lane's persistent working set. A lane is touched by
 // exactly one pool worker per Exchange, so no locking is needed; buffers
 // grow to the high-water mark and are reused on every subsequent call.
+// States are held by pointer so the emit closure below can capture its
+// laneState once, at construction, and survive lane-count growth.
 type laneState struct {
 	wire []byte // encoded channel frames (TX side)
 	rx   []byte // received bytes (skew prefix + noise applied)
@@ -37,6 +39,30 @@ type laneState struct {
 	good      int // accepted channel frames (lane and seq in range)
 	wireBytes int
 	stats     DecodeStats
+
+	// Per-Exchange striping parameters, set by stageLane before the scan
+	// so the persistent emit closure needs no per-call captures.
+	laneIdx  int
+	lanesCnt int
+	unitLen  int
+	rxOut    []byte
+	emit     func(lane int, seq uint32, payload []byte, ncorr int)
+}
+
+// init installs the persistent emit closure; the laneState must already
+// have its final address (states are slab-allocated, then pinned by
+// pointer in linkScratch.lanes).
+func (ls *laneState) init() {
+	ls.emit = func(frLane int, seq uint32, payload []byte, ncorr int) {
+		// Lane mismatches would indicate a miswired remap; drop them.
+		if frLane != ls.laneIdx || int(seq) >= ls.expected {
+			return
+		}
+		g := int(seq)*ls.lanesCnt + ls.laneIdx
+		copy(ls.rxOut[g*ls.unitLen:(g+1)*ls.unitLen], payload)
+		ls.seen[seq] = true
+		ls.good++
+	}
 }
 
 // linkScratch holds the reusable buffers of the serial stages.
@@ -46,19 +72,84 @@ type linkScratch struct {
 	stream   []byte // TX serial stream, scrambled in place
 	rxStream []byte // RX reassembled stream, descrambled in place
 	parse    []byte // frame-in-progress buffer for the parse stage
-	lanes    []laneState
+	lanes    []*laneState
+
+	// Arguments of the in-flight per-lane stage, read by the persistent
+	// dispatch function (see Link.stageLaneIdx): striping geometry plus
+	// the TX and RX streams.
+	curLanes int
+	curUnits int
+	curTx    []byte
+	curRx    []byte
 }
 
-// laneStates returns n lane slots, preserving per-lane buffers across
-// calls (and across lane-count changes after sparing remaps).
-func (sc *linkScratch) laneStates(n int) []laneState {
-	if cap(sc.lanes) < n {
-		grown := make([]laneState, n)
-		copy(grown, sc.lanes[:cap(sc.lanes)])
-		sc.lanes = grown
+// rxSkewSlack is the extra capacity carved per lane for the RX buffer so
+// modest channel skew (a random prefix of junk bytes) doesn't force the
+// lane out of its slab slot.
+const rxSkewSlack = 32
+
+// prepareLanes returns n lane slots, preserving per-lane buffers across
+// calls (and across lane-count changes after sparing remaps). Lanes whose
+// buffers are too small for this Exchange get fresh ones carved out of a
+// single shared slab — link construction costs a handful of allocations,
+// not four per lane.
+func (sc *linkScratch) prepareLanes(n, wireNeed, seenNeed, bodyLen int) []*laneState {
+	if len(sc.lanes) < n {
+		fresh := make([]laneState, n-len(sc.lanes))
+		for i := range fresh {
+			fresh[i].init()
+			sc.lanes = append(sc.lanes, &fresh[i])
+		}
 	}
-	sc.lanes = sc.lanes[:n]
-	return sc.lanes
+	lanes := sc.lanes[:n]
+	rxNeed := wireNeed + rxSkewSlack
+	var byteDef, boolDef int
+	for _, ls := range lanes {
+		if cap(ls.wire) < wireNeed {
+			byteDef += wireNeed
+		}
+		if cap(ls.rx) < rxNeed {
+			byteDef += rxNeed
+		}
+		if cap(ls.body) < bodyLen {
+			byteDef += bodyLen
+		}
+		if cap(ls.seen) < seenNeed {
+			boolDef += seenNeed
+		}
+	}
+	if byteDef > 0 {
+		slab := make([]byte, byteDef)
+		off := 0
+		for _, ls := range lanes {
+			// Full slice expressions cap every slot exactly, so a lane
+			// that outgrows its slot reallocates privately instead of
+			// clobbering its neighbor.
+			if cap(ls.wire) < wireNeed {
+				ls.wire = slab[off : off : off+wireNeed]
+				off += wireNeed
+			}
+			if cap(ls.rx) < rxNeed {
+				ls.rx = slab[off : off : off+rxNeed]
+				off += rxNeed
+			}
+			if cap(ls.body) < bodyLen {
+				ls.body = slab[off : off : off+bodyLen]
+				off += bodyLen
+			}
+		}
+	}
+	if boolDef > 0 {
+		slab := make([]bool, boolDef)
+		off := 0
+		for _, ls := range lanes {
+			if cap(ls.seen) < seenNeed {
+				ls.seen = slab[off : off : off+seenNeed]
+				off += seenNeed
+			}
+		}
+	}
+	return lanes
 }
 
 // rxStreamBuf returns a zeroed reassembly buffer of n bytes; missing
@@ -81,6 +172,18 @@ func (sc *linkScratch) rxStreamBuf(n int) []byte {
 // padding to a whole number of stripe units.
 func (l *Link) stageEncode(frames [][]byte, st *ExchangeStats) ([]byte, error) {
 	sc := &l.scratch
+	// Size the block slice up front (start + data + term + idle per frame,
+	// plus worst-case unit padding) so the encode loop never regrows it —
+	// the append-doubling chain on a fresh link was a measurable slice of
+	// the whole exchange's allocations.
+	unitBlocks := l.cfg.UnitLen / 9
+	need := unitBlocks
+	for _, f := range frames {
+		need += 3 + (len(f)+4)/8
+	}
+	if cap(sc.blocks) < need {
+		sc.blocks = make([]linecode.Block, 0, need)
+	}
 	blocks := sc.blocks[:0]
 	for _, f := range frames {
 		if len(f) < 3 {
@@ -103,7 +206,6 @@ func (l *Link) stageEncode(frames [][]byte, st *ExchangeStats) ([]byte, error) {
 	}
 	// Pad with idle blocks to a whole number of stripe units so the
 	// gearbox never has to invent fill bytes after scrambling.
-	unitBlocks := l.cfg.UnitLen / 9
 	for len(blocks)%unitBlocks != 0 {
 		blocks = append(blocks, linecode.IdleBlock())
 	}
@@ -138,18 +240,32 @@ func LaneUnits(totalUnits, lanes, lane int) int {
 	return laneUnits(totalUnits, lanes, lane)
 }
 
+// stageLaneIdx is the persistent dispatch function handed to the link's
+// laneDispatcher at construction: it reads the in-flight Exchange's
+// striping arguments from linkScratch, so no per-call closure exists on
+// the hot path.
+func (l *Link) stageLaneIdx(lane int) {
+	sc := &l.scratch
+	l.stageLane(lane, sc.curLanes, sc.curUnits, sc.curTx, sc.curRx, sc.lanes[lane])
+}
+
 // stageLane runs one lane end to end: frame each of its units, push the
 // wire bytes through the lane's physical channel, then hunt, FEC-decode,
 // and validate the received stream, writing recovered units directly into
-// this lane's disjoint slots of rxStream.
+// this lane's disjoint slots of rxStream (via the lane's persistent emit
+// closure).
 func (l *Link) stageLane(lane, lanes, totalUnits int, txStream, rxStream []byte, ls *laneState) {
 	unitLen := l.cfg.UnitLen
 	physical := l.mapper.Physical(lane)
-	ch := l.channels[physical]
+	ch := &l.channels[physical]
 	expected := laneUnits(totalUnits, lanes, lane)
 	ls.physical = physical
 	ls.expected = expected
 	ls.good = 0
+	ls.laneIdx = lane
+	ls.lanesCnt = lanes
+	ls.unitLen = unitLen
+	ls.rxOut = rxStream
 
 	wire := ls.wire[:0]
 	if need := expected * l.framer.WireLen(); cap(wire) < need {
@@ -171,24 +287,15 @@ func (l *Link) stageLane(lane, lanes, totalUnits int, txStream, rxStream []byte,
 	for i := range ls.seen {
 		ls.seen[i] = false
 	}
-	ls.stats = l.framer.ScanStream(ls.rx, &ls.body, func(frLane int, seq uint32, payload []byte, ncorr int) {
-		// Lane mismatches would indicate a miswired remap; drop them.
-		if frLane != lane || int(seq) >= expected {
-			return
-		}
-		g := int(seq)*lanes + lane
-		copy(rxStream[g*unitLen:(g+1)*unitLen], payload)
-		ls.seen[seq] = true
-		ls.good++
-	})
+	ls.stats = l.framer.ScanStream(ls.rx, &ls.body, ls.emit)
+	ls.rxOut = nil
 }
 
 // stageFold merges the per-lane results serially, in lane order, so the
 // monitor observation sequence — and every statistic — is independent of
 // worker count.
-func (l *Link) stageFold(states []laneState, st *ExchangeStats) {
-	for i := range states {
-		ls := &states[i]
+func (l *Link) stageFold(states []*laneState, st *ExchangeStats) {
+	for _, ls := range states {
 		st.WireBytes += ls.wireBytes
 		st.Corrections += ls.stats.Corrections
 		st.PerChannel[ls.physical] = ls.stats

@@ -36,12 +36,44 @@ func startPool() {
 	}
 }
 
-// forEachLane runs fn(0..n-1) with up to par runner tasks on the
-// persistent pool (actual concurrency is bounded by the pool's worker
-// count). par <= 1 runs inline on the caller's goroutine — handy for
-// tests and for callers that are themselves parallel. par == 0 means
-// "pool default": one runner per pool worker.
-func forEachLane(n, par int, fn func(lane int)) {
+// laneDispatcher fans a fixed worker function out over lane indices on
+// the persistent pool. The runner closure, wait group, and work counter
+// live in the dispatcher, so a dispatcher built once (per Link) makes
+// every subsequent dispatch allocation-free — the steady-state Exchange
+// path must not touch the heap (see bench_test.go).
+//
+// A dispatcher is not reentrant: one dispatch at a time.
+type laneDispatcher struct {
+	fn   func(lane int)
+	n    int
+	next atomic.Int64
+	wg   sync.WaitGroup
+	run  func()
+}
+
+// newLaneDispatcher builds a dispatcher around fn. The only allocations
+// ever made on fn's behalf happen here.
+func newLaneDispatcher(fn func(lane int)) *laneDispatcher {
+	d := &laneDispatcher{fn: fn}
+	d.run = func() {
+		defer d.wg.Done()
+		for {
+			i := int(d.next.Add(1)) - 1
+			if i >= d.n {
+				return
+			}
+			d.fn(i)
+		}
+	}
+	return d
+}
+
+// dispatch runs fn(0..n-1) with up to par runner tasks on the persistent
+// pool (actual concurrency is bounded by the pool's worker count).
+// par <= 1 runs inline on the caller's goroutine — handy for tests and
+// for callers that are themselves parallel. par == 0 means "pool
+// default": one runner per pool worker.
+func (d *laneDispatcher) dispatch(n, par int) {
 	if n <= 0 {
 		return
 	}
@@ -56,25 +88,21 @@ func forEachLane(n, par int, fn func(lane int)) {
 	}
 	if par <= 1 || n == 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			d.fn(i)
 		}
 		return
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	runner := func() {
-		defer wg.Done()
-		for {
-			i := int(next.Add(1)) - 1
-			if i >= n {
-				return
-			}
-			fn(i)
-		}
-	}
-	wg.Add(par)
+	d.n = n
+	d.next.Store(0)
+	d.wg.Add(par)
 	for i := 0; i < par; i++ {
-		poolTasks <- runner
+		poolTasks <- d.run
 	}
-	wg.Wait()
+	d.wg.Wait()
+}
+
+// forEachLane is the one-shot form of laneDispatcher for cold paths that
+// don't keep a dispatcher around.
+func forEachLane(n, par int, fn func(lane int)) {
+	newLaneDispatcher(fn).dispatch(n, par)
 }
