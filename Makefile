@@ -12,7 +12,7 @@ FUZZ_TARGETS = internal/phy:FuzzFramerDecodeStream internal/phy:FuzzHammingFECDe
 	internal/phy:FuzzRSLiteDecode internal/phy:FuzzParseFramesNeverPanics \
 	internal/mac:FuzzMACDeframe
 
-.PHONY: check vet build test race determinism staticcheck bench bench-mac bench-check coverage fuzz-smoke verify-deep
+.PHONY: check vet build test race determinism staticcheck bench bench-mac bench-e24 bench-check coverage fuzz-smoke verify-deep
 
 check: vet staticcheck build test race determinism
 
@@ -38,8 +38,14 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The doubled PHY determinism run plus the sharded flow engine's
+# worker-invariance goldens: the E24 fleet table (and its epoch
+# event-log sha) at 1 worker vs GOMAXPROCS, and the netsim fleet
+# scenario at 1/3/GOMAXPROCS workers.
 determinism:
 	$(GO) test -run TestDeterminism -count=2 ./internal/phy/
+	$(GO) test -run 'TestFleetSimWorkerInvariance' -count=1 ./internal/netsim/
+	$(GO) test -run 'TestE24DeterministicAcrossWorkers' -count=1 ./internal/experiments/
 
 # Not part of check: the time-and-allocation benchmarks. E10 exercises
 # the whole pipeline (7 reach points, construction + exchange); the
@@ -53,13 +59,21 @@ BENCH_COUNT ?= 5
 bench:
 	@$(GO) test -bench 'BenchmarkE10EndToEnd$$' -benchmem -benchtime 3x -count=$(BENCH_COUNT) -run '^$$' . && \
 	$(GO) test -bench 'BenchmarkExchangeSteadyState$$|BenchmarkMACFrameRoundTrip$$|BenchmarkMACFrameRoundTripSR$$' \
-		-benchmem -benchtime 1000x -count=$(BENCH_COUNT) -run '^$$' .
+		-benchmem -benchtime 1000x -count=$(BENCH_COUNT) -run '^$$' . && \
+	$(GO) test -bench 'BenchmarkE24FleetFlows$$' -benchmem -benchtime 1x -count=2 -run '^$$' -timeout 30m .
 
 # Standalone MAC framing benchmark at a stable iteration count; the JSON
 # record (no gating here — bench-check gates) lands in BENCH_MAC.json.
 bench-mac:
 	$(GO) test -bench 'BenchmarkMACFrameRoundTrip$$|BenchmarkMACFrameRoundTripSR$$' -benchmem -benchtime 100000x -run '^$$' . | \
 		$(GO) run ./cmd/benchguard -out BENCH_MAC.json
+
+# Standalone fleet-scale flow-engine benchmark (E24: ~700k flows over
+# 1752 links through the sharded incremental engine); the JSON record
+# lands in BENCH_E24.json (no gating here — bench-check gates).
+bench-e24:
+	$(GO) test -bench 'BenchmarkE24FleetFlows$$' -benchmem -benchtime 1x -run '^$$' -timeout 30m . | \
+		$(GO) run ./cmd/benchguard -out BENCH_E24.json
 
 # CI bench-regression gate: run the baselined benchmarks, keep the raw
 # `go test -bench` text in BENCH_RAW.txt (uploaded as a CI artifact so a
@@ -96,6 +110,7 @@ verify-deep:
 	MOSAIC_VERIFY_DEEP=1 MOSAIC_DIFF_CASES=$(DIFF_CASES) MOSAIC_DIFF_SEED=$(DIFF_SEED) \
 		MOSAIC_DIFF_OUT=DIVERGENCE.json \
 		$(GO) test -race -run TestDiffDeep -v -timeout 60m ./internal/diffcheck/
+	MOSAIC_VERIFY_DEEP=1 $(GO) test -race -run TestIncFlowSimDeepProperties -timeout 60m ./internal/netsim/
 
 # CI fuzz smoke: each pkg:target pair gets a short budget (go test runs
 # one fuzz target at a time, so this is a loop, not a single invocation).

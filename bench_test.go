@@ -1,6 +1,6 @@
 package mosaic
 
-// One benchmark per reconstructed table/figure (E1-E22) and ablation
+// One benchmark per reconstructed table/figure (E1-E25) and ablation
 // (A1-A5). Each bench regenerates its experiment through the experiment
 // registry — the same code path as cmd/mosaicbench — reports the headline
 // numbers as custom metrics, and (with -v) logs the full table.
@@ -11,8 +11,10 @@ package mosaic
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"strconv"
+	"strings"
 	"testing"
 
 	"mosaic/internal/channel"
@@ -212,6 +214,27 @@ func BenchmarkE23MACRenegotiation(b *testing.B) {
 		case "copper-link-down":
 			b.ReportMetric(stalled, "copper_stalled")
 		}
+	}
+}
+
+func BenchmarkE24FleetFlows(b *testing.B) {
+	// The fleet-scale experiment is the sharded incremental engine's
+	// time-and-allocation budget: ~700k flows over 1752 links in a
+	// handful of seconds. Headline metrics: the diurnal peak backlog and
+	// how many flow-rate assignments the dirty-set waterfill performed
+	// (the full-sweep equivalent would be orders of magnitude larger).
+	b.ReportAllocs()
+	tab := runExperiment(b, "E24")
+	notes := tab.Notes
+	if i := strings.Index(notes, "peak concurrent "); i >= 0 {
+		var peak float64
+		fmt.Sscanf(notes[i:], "peak concurrent %f", &peak)
+		b.ReportMetric(peak, "peak_flows")
+	}
+	var rated float64
+	if i := strings.Index(notes, "waterfills rated "); i >= 0 {
+		fmt.Sscanf(notes[i:], "waterfills rated %f", &rated)
+		b.ReportMetric(rated, "rated_flows")
 	}
 }
 

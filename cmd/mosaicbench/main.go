@@ -1,7 +1,7 @@
 // Command mosaicbench regenerates the paper's evaluation: every
-// reconstructed table and figure (E1-E25, including the E25 ARQ/QoS
-// comparison) plus the design-choice ablations (A1-A5), driven by the
-// experiment registry. Run with no arguments for
+// reconstructed table and figure (E1-E25, including the E24 fleet-scale
+// sharded-flow-engine run and the E25 ARQ/QoS comparison) plus the
+// design-choice ablations (A1-A5), driven by the experiment registry. Run with no arguments for
 // the full suite, or select experiments:
 //
 //	mosaicbench                 # everything

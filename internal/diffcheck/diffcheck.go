@@ -24,6 +24,9 @@
 //	             weighted round-robin QoS) vs the same twin
 //	pipeline   — full Exchange vs serial reference pipeline, across
 //	             worker counts, noise, skew, dead channels and sparing
+//	flowsim_inc — incremental dirty-set flow engine vs the always-global
+//	             max-min reference, bitwise, over randomized
+//	             arrival/kill/restore/degrade traces
 //
 // A passing deep run (make verify-deep) certifies that a perf-oriented
 // change preserved bit-exact behaviour; a failing one names the stage
@@ -43,6 +46,7 @@ const DefaultSize = 8
 var StageNames = []string{
 	"scrambler", "bsc_skip", "rs_encode", "rs_decode", "rs_vector", "framer",
 	"striper", "mac_frame", "mac_llr", "mac_sr", "mac_vc", "pipeline",
+	"flowsim_inc",
 }
 
 // Options configures a differential run.
@@ -144,18 +148,19 @@ func WriteJSON(path string, r Report) error {
 type stageFunc func(seed int64, caseIdx, size, workers int) string
 
 var stageFuncs = map[string]stageFunc{
-	"scrambler": diffScrambler,
-	"bsc_skip":  diffBSCSkip,
-	"rs_encode": diffRSEncode,
-	"rs_decode": diffRSDecode,
-	"rs_vector": diffRSVector,
-	"framer":    diffFramer,
-	"striper":   diffStriper,
-	"mac_frame": diffMACFrame,
-	"mac_llr":   diffMACLLR,
-	"mac_sr":    diffMACSR,
-	"mac_vc":    diffMACVC,
-	"pipeline":  diffPipeline,
+	"scrambler":   diffScrambler,
+	"bsc_skip":    diffBSCSkip,
+	"rs_encode":   diffRSEncode,
+	"rs_decode":   diffRSDecode,
+	"rs_vector":   diffRSVector,
+	"framer":      diffFramer,
+	"striper":     diffStriper,
+	"mac_frame":   diffMACFrame,
+	"mac_llr":     diffMACLLR,
+	"mac_sr":      diffMACSR,
+	"mac_vc":      diffMACVC,
+	"pipeline":    diffPipeline,
+	"flowsim_inc": diffFlowSimInc,
 }
 
 // Run executes the configured stages and returns the report. Every

@@ -1,0 +1,113 @@
+package diffcheck
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mosaic/internal/netsim"
+	"mosaic/internal/refmodel"
+	"mosaic/internal/sim"
+)
+
+// diffFlowSimInc drives the incremental flow engine (IncFlowSim: per-link
+// flow indices, dirty-set component waterfill, completion heap) through a
+// randomized trace of arrivals, link kills/restores, capacity fractions,
+// batched bursts, and time advances, and after every mutation compares
+// every active flow's rate bit-for-bit against refmodel.MaxMinRates — the
+// always-global progressive-filling twin. Exact equality (not epsilon) is
+// the contract: the component-restricted waterfill performs the same
+// float operations in the same order as a global fill restricted to that
+// component, so any difference is a real bug, not rounding.
+func diffFlowSimInc(seed int64, caseIdx, size, workers int) string {
+	_ = workers
+	rng := rand.New(rand.NewSource(caseSeed(seed, caseIdx) ^ 0x0f10351b))
+
+	// Alternate topology families so both the single-domain and the
+	// pods-plus-core link structures are covered.
+	var (
+		topo *netsim.Topology
+		err  error
+	)
+	if caseIdx%2 == 0 {
+		topo, err = netsim.NewLeafSpine(2+rng.Intn(size), 1+rng.Intn(2+size/4), 1+rng.Intn(3), 100e9)
+	} else {
+		topo, err = netsim.NewFleet(2+rng.Intn(2), 1+rng.Intn(size), 1+rng.Intn(2+size/4), 1+rng.Intn(3), 100e9)
+	}
+	if err != nil {
+		return fmt.Sprintf("topology: %v", err)
+	}
+	hosts := topo.Hosts()
+	if len(hosts) < 2 {
+		return ""
+	}
+
+	eng := sim.NewEngine(caseSeed(seed, caseIdx))
+	fs := netsim.NewIncFlowSim(topo, eng)
+
+	steps := 6 * size
+	inBatch := false
+	for s := 0; s < steps; s++ {
+		switch op := rng.Intn(100); {
+		case op < 45: // arrival, sometimes weighted
+			src := hosts[rng.Intn(len(hosts))]
+			dst := hosts[rng.Intn(len(hosts))]
+			if src == dst {
+				continue
+			}
+			w := 1.0
+			if rng.Intn(4) == 0 {
+				w = 0.5 + rng.Float64()*3
+			}
+			_, _ = fs.StartFlowWeighted(src, dst, (0.1+rng.Float64())*1e9, rng.Uint64(), w)
+		case op < 60: // advance time, let completions fire
+			if !inBatch {
+				eng.RunUntil(eng.Now() + sim.Time(rng.Float64()*0.02))
+			}
+		case op < 72: // kill a link
+			fs.FailLink(rng.Intn(len(topo.Links)))
+		case op < 84: // restore a link
+			fs.RestoreLink(rng.Intn(len(topo.Links)))
+		case op < 94: // degrade a link
+			fs.SetLinkCapacityFraction(rng.Intn(len(topo.Links)), rng.Float64())
+		default: // toggle batch mode (burst application)
+			if inBatch {
+				fs.CommitBatch()
+				inBatch = false
+			} else {
+				fs.BeginBatch()
+				inBatch = true
+			}
+		}
+		if inBatch {
+			continue // rates are intentionally stale inside a batch
+		}
+		if detail := compareIncToRef(fs); detail != "" {
+			return fmt.Sprintf("step %d: %s", s, detail)
+		}
+	}
+	if inBatch {
+		fs.CommitBatch()
+		if detail := compareIncToRef(fs); detail != "" {
+			return fmt.Sprintf("final commit: %s", detail)
+		}
+	}
+	return ""
+}
+
+// compareIncToRef recomputes the global reference allocation for the
+// engine's current flow set and demands bitwise rate equality.
+func compareIncToRef(fs *netsim.IncFlowSim) string {
+	states := fs.FlowStates()
+	flows := make([]refmodel.RefFlow, len(states))
+	for i, st := range states {
+		flows[i] = refmodel.RefFlow{ID: st.ID, Path: st.Path, Weight: st.Weight}
+	}
+	want := refmodel.MaxMinRates(fs.Capacities(), flows)
+	for _, st := range states {
+		if st.Rate != want[st.ID] {
+			return fmt.Sprintf("flow %d (%d active): incremental rate %.17g != refmodel %.17g",
+				st.ID, len(states), st.Rate, want[st.ID])
+		}
+	}
+	return ""
+}

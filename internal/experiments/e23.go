@@ -59,7 +59,7 @@ func e23WithWorkers(seed int64, workers int) (Table, error) {
 	t.Columns = []string{"scenario", "flows", "stalled", "renegs", "retx",
 		"frac_end", "mean_FCT_ms", "p99_FCT_ms"}
 
-	var macSHA string
+	var macSHA, stallSHA string
 	for _, sc := range []struct {
 		name string
 		mode e23Mode
@@ -68,9 +68,20 @@ func e23WithWorkers(seed int64, workers int) (Table, error) {
 		{"mosaic-aging(mac)", e23Aging},
 		{"copper-link-down", e23Down},
 	} {
-		st, res, err := runE23Scenario(seed, workers, sc.mode)
+		st, res, recs, err := runE23Scenario(seed, workers, sc.mode)
 		if err != nil {
 			return t, err
+		}
+		if sc.mode == e23Down {
+			// The copper cut strands several flows at one instant; hash
+			// the full record sequence so the golden pins their order
+			// (ascending flow ID within the kill, not map order).
+			var sb strings.Builder
+			for _, r := range recs {
+				fmt.Fprintf(&sb, "%d %v %v %v\n", r.ID, r.Stalled, r.Start, r.End)
+			}
+			h := sha256.Sum256([]byte(sb.String()))
+			stallSHA = hex.EncodeToString(h[:8])
 		}
 		renegs, retx, frac := "-", "-", "-"
 		if res != nil {
@@ -88,6 +99,7 @@ func e23WithWorkers(seed int64, workers int) (Table, error) {
 	}
 	t.Notes = "aging schedule -> monitor -> sparing -> mac.Bridge renegotiation; copper cut at the first " +
 		"lane-loss instant for comparison; mac event log sha256[:8]=" + macSHA +
+		"; copper stall records sha256[:8]=" + stallSHA +
 		" (byte-identical at any phy worker count)"
 	return t, nil
 }
@@ -96,10 +108,10 @@ func e23WithWorkers(seed int64, workers int) (Table, error) {
 // for the MAC modes, a live Mosaic session whose forward link is the
 // access victim. Session ticks and flow events interleave on the same
 // engine; capacity changes reach the flow sim only via the bridge.
-func runE23Scenario(seed int64, workers int, mode e23Mode) (netsim.FCTStats, *mac.Result, error) {
+func runE23Scenario(seed int64, workers int, mode e23Mode) (netsim.FCTStats, *mac.Result, []netsim.FlowRecord, error) {
 	topo, err := netsim.NewFatTree(8, 800e9)
 	if err != nil {
-		return netsim.FCTStats{}, nil, err
+		return netsim.FCTStats{}, nil, nil, err
 	}
 	eng := sim.NewEngine(seed)
 	fs := netsim.NewFlowSim(topo, eng)
@@ -148,14 +160,14 @@ func runE23Scenario(seed int64, workers int, mode e23Mode) (netsim.FCTStats, *ma
 			PerChannelBitRate: 2e9, Seed: seed + 100, Workers: workers,
 		})
 		if err != nil {
-			return netsim.FCTStats{}, nil, err
+			return netsim.FCTStats{}, nil, nil, err
 		}
 		rev, err := phy.New(phy.Config{
 			Lanes: 16, Spares: 2, FEC: phy.NewRSLite(), UnitLen: 63,
 			PerChannelBitRate: 2e9, Seed: seed + 200, Workers: workers,
 		})
 		if err != nil {
-			return netsim.FCTStats{}, nil, err
+			return netsim.FCTStats{}, nil, nil, err
 		}
 		bridge := mac.NewBridge(fwd, fs, victim, eng)
 		sess, err = mac.NewSession(mac.SessionConfig{
@@ -172,19 +184,20 @@ func runE23Scenario(seed int64, workers int, mode e23Mode) (netsim.FCTStats, *ma
 			Bridge:       bridge,
 		})
 		if err != nil {
-			return netsim.FCTStats{}, nil, err
+			return netsim.FCTStats{}, nil, nil, err
 		}
 	}
 
 	eng.Run()
-	st := netsim.Stats(fs.Records())
+	recs := fs.Records()
+	st := netsim.Stats(recs)
 	st.Stalled += unroutable
 	if sess != nil {
 		res := sess.Result()
 		if res.Err != "" {
-			return st, res, fmt.Errorf("experiments: E23 mac session: %s", res.Err)
+			return st, res, recs, fmt.Errorf("experiments: E23 mac session: %s", res.Err)
 		}
-		return st, res, nil
+		return st, res, recs, nil
 	}
-	return st, nil, nil
+	return st, nil, recs, nil
 }

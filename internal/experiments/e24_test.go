@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// E24 is the sharded engine's flagship: the full table — per-window
+// counters, FCT percentiles, the epoch event-log hash, and the MAC
+// bring-up samples in the notes — must be byte-identical at one worker
+// and at GOMAXPROCS workers, and the diurnal peak must actually reach
+// fleet scale (>= 100k concurrent flows, the load the incremental
+// engine exists to carry).
+func TestE24DeterministicAcrossWorkers(t *testing.T) {
+	var want string
+	var wantM e24Metrics
+	for i, w := range []int{1, 0} {
+		tab, m, err := e24WithWorkers(1, w)
+		got := render(t, tab, err)
+		if i == 0 {
+			want, wantM = got, m
+			continue
+		}
+		if got != want {
+			t.Fatalf("workers=%d table diverged:\n%s\nwant:\n%s", w, got, want)
+		}
+		if m != wantM {
+			t.Fatalf("workers=%d metrics diverged: %+v vs %+v", w, m, wantM)
+		}
+	}
+
+	if wantM.PeakActive < 100000 {
+		t.Errorf("peak concurrent flows %d below fleet scale (want >= 100000)", wantM.PeakActive)
+	}
+	if wantM.Flows < 100000 {
+		t.Errorf("only %d flows admitted", wantM.Flows)
+	}
+	if wantM.DeadLinks == 0 {
+		t.Error("aging retired no links over the horizon; the scenario exercises no deaths")
+	}
+	if wantM.PeakCross == 0 {
+		t.Error("no cross-pod flows; the shard barrier is untested")
+	}
+	if !strings.Contains(want, "sha256[:8]="+wantM.LogSHA) {
+		t.Errorf("notes lost the epoch event-log hash %s:\n%s", wantM.LogSHA, want)
+	}
+	if !strings.Contains(want, "mac") {
+		t.Errorf("notes lost the PHY/MAC bring-up samples:\n%s", want)
+	}
+}

@@ -174,6 +174,12 @@ func init() {
 			Gen:   E23MACRenegotiation,
 		},
 		{
+			ID:    "E24",
+			Title: "fleet scale: 12-pod diurnal day with continuous microLED aging (sharded incremental engine)",
+			Claim: "the sharded engine holds >100k concurrent flows over 1752 links byte-identically at any worker count, while sampled links prove the aging model against real MAC bring-up",
+			Gen:   E24FleetScale,
+		},
+		{
 			ID:    "E25",
 			Title: "ARQ discipline under burst loss + incast: go-back-N vs selective repeat vs multi-VC QoS",
 			Claim: "a wide-and-slow link loses channels in bursts, not all at once — selective repeat retransmits only what died, and QoS-classed virtual channels keep priority traffic flowing through incast",

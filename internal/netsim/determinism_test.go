@@ -1,0 +1,131 @@
+package netsim
+
+import (
+	"testing"
+
+	"mosaic/internal/sim"
+)
+
+// Regression: a link kill that strands several flows must append their
+// Stalled records in ascending flow-ID order. The pre-fix code iterated
+// the active map directly, so with four stranded flows the record order
+// was whatever the runtime's map hashing produced; 50 fresh simulations
+// make a map-order leak essentially certain to surface.
+func TestRerouteStalledRecordOrderDeterministic(t *testing.T) {
+	for iter := 0; iter < 50; iter++ {
+		topo, err := NewLeafSpine(2, 1, 4, 100e9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		engine := sim.NewEngine(1)
+		fs := NewFlowSim(topo, engine)
+		hosts := topo.Hosts()
+		// Four flows into h0; its single access link is their only route.
+		for _, src := range []int{hosts[4], hosts[5], hosts[6], hosts[1]} {
+			if _, err := fs.StartFlow(src, hosts[0], 1e9, 7); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fs.FailLink(0) // h0's access link: all four flows stall
+		recs := fs.Records()
+		if len(recs) != 4 {
+			t.Fatalf("iter %d: want 4 stalled records, got %d", iter, len(recs))
+		}
+		for i, r := range recs {
+			if !r.Stalled {
+				t.Fatalf("iter %d: record %d not stalled", iter, i)
+			}
+			if r.ID != i {
+				t.Fatalf("iter %d: stalled records out of ID order: got %d at position %d", iter, r.ID, i)
+			}
+		}
+	}
+}
+
+// Regression: two identical flows on disjoint paths finish at the same
+// instant and must be recorded in flow-ID order, not completion-scan map
+// order. Pre-fix, reschedule's `at < nextAt` comparison let whichever
+// flow the map yielded first win the tie.
+func TestCompletionTieBreakDeterministic(t *testing.T) {
+	for iter := 0; iter < 50; iter++ {
+		topo, err := NewLeafSpine(2, 1, 2, 100e9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		engine := sim.NewEngine(1)
+		fs := NewFlowSim(topo, engine)
+		hosts := topo.Hosts()
+		// h0→h1 stays on leaf 0, h2→h3 on leaf 1: fully disjoint links,
+		// identical sizes, identical completion times.
+		if _, err := fs.StartFlow(hosts[0], hosts[1], 1e9, 3); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.StartFlow(hosts[2], hosts[3], 1e9, 3); err != nil {
+			t.Fatal(err)
+		}
+		engine.Run()
+		recs := fs.Records()
+		if len(recs) != 2 {
+			t.Fatalf("iter %d: want 2 records, got %d", iter, len(recs))
+		}
+		if recs[0].End != recs[1].End {
+			t.Fatalf("iter %d: expected an exact completion tie, got %v vs %v", iter, recs[0].End, recs[1].End)
+		}
+		if recs[0].ID != 0 || recs[1].ID != 1 {
+			t.Fatalf("iter %d: tie recorded out of ID order: [%d, %d]", iter, recs[0].ID, recs[1].ID)
+		}
+	}
+}
+
+// Regression (perf): capacity writes that change nothing — repeated
+// RestoreLink, a Bridge re-sync publishing the fraction the link already
+// has, a second FailLink — must not trigger a global reschedule.
+func TestSetLinkCapacityFractionNoOpSkipsRecompute(t *testing.T) {
+	topo, err := NewLeafSpine(2, 2, 2, 100e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := sim.NewEngine(1)
+	fs := NewFlowSim(topo, engine)
+	hosts := topo.Hosts()
+	if _, err := fs.StartFlow(hosts[0], hosts[2], 1e12, 5); err != nil {
+		t.Fatal(err)
+	}
+
+	base := fs.Recomputes()
+	fs.RestoreLink(2) // already at full capacity
+	fs.RestoreLink(2)
+	if got := fs.Recomputes(); got != base {
+		t.Fatalf("no-op RestoreLink recomputed: %d -> %d", base, got)
+	}
+
+	fs.SetLinkCapacityFraction(2, 0.5)
+	if got := fs.Recomputes(); got != base+1 {
+		t.Fatalf("real change should recompute once: %d -> %d", base, got)
+	}
+	fs.SetLinkCapacityFraction(2, 0.5) // same fraction again
+	if got := fs.Recomputes(); got != base+1 {
+		t.Fatalf("repeated fraction recomputed: %d", got)
+	}
+
+	// A second kill of a dead link is a no-op too.
+	dead := 3
+	fs.FailLink(dead)
+	n := fs.Recomputes()
+	fs.FailLink(dead)
+	if got := fs.Recomputes(); got != n {
+		t.Fatalf("second FailLink recomputed: %d -> %d", n, got)
+	}
+
+	// The incremental engine honors the same contract (waterfill counter).
+	ifs := NewIncFlowSim(topo, sim.NewEngine(1))
+	if _, err := ifs.StartFlow(hosts[0], hosts[2], 1e12, 5); err != nil {
+		t.Fatal(err)
+	}
+	w := ifs.Waterfills()
+	ifs.RestoreLink(2)
+	ifs.RestoreLink(2)
+	if got := ifs.Waterfills(); got != w {
+		t.Fatalf("incremental no-op RestoreLink waterfilled: %d -> %d", w, got)
+	}
+}

@@ -1,0 +1,102 @@
+package netsim
+
+import "errors"
+
+// NewFleet builds a multi-pod fleet: `pods` independent leaf-spine pods
+// (leaves × spines bipartite, hostsPerLeaf hosts per leaf) joined by
+// `spines` core switches, where core i connects to spine i of every
+// pod. That plane-aligned core wiring makes the standard fat-tree
+// up/down Path() work unchanged: intra-pod traffic turns around at a
+// shared spine (NodeAgg), cross-pod traffic climbs spine i to core i
+// and descends into the destination pod through its spine i.
+//
+// The fleet is the unit the sharded flow engine simulates: every
+// intra-pod link belongs to exactly one pod, spine-core links belong to
+// the pod of their spine endpoint, and a flow therefore touches the
+// links of at most two pods (its source pod and, if cross-pod, its
+// destination pod plus the two core hops — each owned by one of those
+// same two pods). LinkShards exposes that owner map.
+func NewFleet(pods, leaves, spines, hostsPerLeaf int, linkRate float64) (*Topology, error) {
+	if pods <= 0 || leaves <= 0 || spines <= 0 || hostsPerLeaf <= 0 {
+		return nil, errors.New("netsim: fleet needs positive pods, leaves, spines, hosts")
+	}
+	if linkRate <= 0 {
+		return nil, errors.New("netsim: link rate must be positive")
+	}
+	t := &Topology{K: 0}
+
+	addNode := func(kind NodeKind, pod int) int {
+		id := len(t.Nodes)
+		t.Nodes = append(t.Nodes, Node{ID: id, Kind: kind, Pod: pod})
+		return id
+	}
+	addLink := func(a, b int, tier Tier) {
+		id := len(t.Links)
+		t.Links = append(t.Links, Link{
+			ID: id, A: a, B: b, Tier: tier,
+			LengthM: tier.TypicalLengthM(), RateBps: linkRate,
+		})
+	}
+
+	cores := make([]int, 0, spines)
+	for c := 0; c < spines; c++ {
+		cores = append(cores, addNode(NodeCore, -1))
+	}
+	for p := 0; p < pods; p++ {
+		leafIDs := make([]int, 0, leaves)
+		for l := 0; l < leaves; l++ {
+			leafIDs = append(leafIDs, addNode(NodeEdge, p))
+		}
+		spineIDs := make([]int, 0, spines)
+		for s := 0; s < spines; s++ {
+			spineIDs = append(spineIDs, addNode(NodeAgg, p))
+		}
+		for _, leaf := range leafIDs {
+			for h := 0; h < hostsPerLeaf; h++ {
+				host := addNode(NodeHost, p)
+				t.hosts = append(t.hosts, host)
+				addLink(host, leaf, TierHostToR)
+			}
+			for _, s := range spineIDs {
+				addLink(leaf, s, TierToRAgg)
+			}
+		}
+		for i, s := range spineIDs {
+			addLink(s, cores[i], TierAggCore)
+		}
+	}
+
+	t.adj = make([][]int, len(t.Nodes))
+	for _, l := range t.Links {
+		t.adj[l.A] = append(t.adj[l.A], l.ID)
+		t.adj[l.B] = append(t.adj[l.B], l.ID)
+	}
+	return t, nil
+}
+
+// LinkShards assigns every link of a fleet topology to a shard (its
+// pod): the pod of whichever endpoint is a pod node. Spine-core links
+// belong to the pod of their spine, so a cross-pod path spans exactly
+// the shards of its two endpoint pods.
+func LinkShards(t *Topology) []int {
+	shards := make([]int, len(t.Links))
+	for i, l := range t.Links {
+		pod := t.Nodes[l.A].Pod
+		if pod < 0 {
+			pod = t.Nodes[l.B].Pod
+		}
+		shards[i] = pod
+	}
+	return shards
+}
+
+// NumPods returns the number of distinct pods in the topology.
+func NumPods(t *Topology) int {
+	max := -1
+	for _, n := range t.Nodes {
+		if n.Pod > max {
+			max = n.Pod
+		}
+	}
+	return max + 1
+}

@@ -53,6 +53,7 @@ type FlowSim struct {
 	nextID   int
 	records  []FlowRecord
 
+	recomputes        uint64
 	pendingCompletion sim.Canceler
 }
 
@@ -80,6 +81,11 @@ func (fs *FlowSim) ActiveFlows() int { return len(fs.active) }
 // Records returns completed/stalled flow records.
 func (fs *FlowSim) Records() []FlowRecord { return fs.records }
 
+// Recomputes returns how many global rate recomputations have run — the
+// quantity the incremental engine exists to reduce, and the counter the
+// SetLinkCapacityFraction no-op test asserts on.
+func (fs *FlowSim) Recomputes() uint64 { return fs.recomputes }
+
 // StartFlow injects a weight-1 flow now. It picks the ECMP path from the
 // hash and returns the flow ID.
 func (fs *FlowSim) StartFlow(src, dst int, sizeBits float64, hash uint64) (int, error) {
@@ -90,12 +96,12 @@ func (fs *FlowSim) StartFlow(src, dst int, sizeBits float64, hash uint64) (int, 
 // (weight <= 0 or NaN is treated as 1, so plain flows are unaffected).
 func (fs *FlowSim) StartFlowWeighted(src, dst int, sizeBits float64, hash uint64, weight float64) (int, error) {
 	if sizeBits <= 0 {
-		return 0, errors.New("netsim: flow size must be positive")
+		return 0, errFlowSize
 	}
 	if weight <= 0 || weight != weight {
 		weight = 1
 	}
-	path, err := fs.routeAvoidingDead(src, dst, hash)
+	path, err := routeAvoidingDead(fs.Topo, fs.capacity, src, dst, hash)
 	if err != nil {
 		return 0, err
 	}
@@ -113,18 +119,22 @@ func (fs *FlowSim) StartFlowWeighted(src, dst int, sizeBits float64, hash uint64
 	return id, nil
 }
 
-// routeAvoidingDead retries ECMP hashes until the path avoids dead links.
-func (fs *FlowSim) routeAvoidingDead(src, dst int, hash uint64) ([]int, error) {
+// errFlowSize rejects non-positive flow sizes.
+var errFlowSize = errors.New("netsim: flow size must be positive")
+
+// routeAvoidingDead retries ECMP hashes until the path avoids dead
+// links. Shared by every engine flavor (global, incremental, fleet).
+func routeAvoidingDead(t *Topology, capacity []float64, src, dst int, hash uint64) ([]int, error) {
 	var lastErr error
 	for attempt := uint64(0); attempt < 64; attempt++ {
-		path, err := fs.Topo.Path(src, dst, hash+attempt*0x9e3779b9)
+		path, err := t.Path(src, dst, hash+attempt*0x9e3779b9)
 		if err != nil {
 			lastErr = err
 			continue
 		}
 		ok := true
 		for _, l := range path {
-			if fs.capacity[l] <= 0 {
+			if capacity[l] <= 0 {
 				ok = false
 				break
 			}
@@ -153,8 +163,18 @@ func (fs *FlowSim) SetLinkCapacityFraction(linkID int, frac float64) {
 	if frac > 1 {
 		frac = 1
 	}
-	fs.capacity[linkID] = fs.Topo.Links[linkID].RateBps * frac
-	if frac == 0 {
+	newCap := fs.Topo.Links[linkID].RateBps * frac
+	if newCap == fs.capacity[linkID] {
+		// No-op change (repeated RestoreLink, a Bridge re-sync publishing
+		// the fraction it already holds, a second FailLink on a dead
+		// link): nothing about the allocation can change, so skip the
+		// global reschedule entirely. A dead link stays dead here — the
+		// reroute already happened when the capacity first hit zero, and
+		// no active flow can cross a zero-capacity link since.
+		return
+	}
+	fs.capacity[linkID] = newCap
+	if newCap == 0 {
 		fs.rerouteThrough(linkID)
 	}
 	fs.reschedule()
@@ -168,20 +188,24 @@ func (fs *FlowSim) RestoreLink(linkID int) { fs.SetLinkCapacityFraction(linkID, 
 
 // rerouteThrough re-paths all active flows crossing the (now dead) link.
 // Flows with no remaining live path are recorded as stalled and dropped.
+// Crossing flows are processed in ascending flow-ID order: a link kill
+// that strands several flows must append their Stalled records in a
+// run-independent order, not whatever order the active map yields.
 func (fs *FlowSim) rerouteThrough(linkID int) {
+	var crossing []int
 	for id, f := range fs.active {
-		crosses := false
 		for _, l := range f.Path {
 			if l == linkID {
-				crosses = true
+				crossing = append(crossing, id)
 				break
 			}
 		}
-		if !crosses {
-			continue
-		}
+	}
+	sort.Ints(crossing)
+	for _, id := range crossing {
+		f := fs.active[id]
 		fs.settle(f)
-		path, err := fs.routeAvoidingDead(f.Src, f.Dst, f.Hash+1)
+		path, err := routeAvoidingDead(fs.Topo, fs.capacity, f.Src, f.Dst, f.Hash+1)
 		if err != nil {
 			fs.records = append(fs.records, FlowRecord{
 				ID: f.ID, SizeBits: f.SizeBits, Start: f.start,
@@ -210,7 +234,14 @@ func (fs *FlowSim) settle(f *Flow) {
 // each link's fair share is remaining capacity per unit of flow weight,
 // and a flow frozen at a bottleneck receives share * Weight. With all
 // weights 1 this reduces exactly to classic max-min.
+//
+// Flows are processed in ascending ID order and links in ascending index
+// order, so the floating-point accumulation sequence — and therefore
+// every computed rate, bit for bit — is identical from run to run and
+// identical to the incremental engine's per-component waterfill (which
+// the flowsim_inc diffcheck stage pins against refmodel.MaxMinRates).
 func (fs *FlowSim) recomputeRates() {
+	fs.recomputes++
 	for _, f := range fs.active {
 		fs.settle(f)
 		f.rate = 0
@@ -221,16 +252,19 @@ func (fs *FlowSim) recomputeRates() {
 	remCap := make([]float64, len(fs.capacity))
 	copy(remCap, fs.capacity)
 	weightOn := make([]float64, len(fs.capacity)) // unfrozen flow weight per link
-	unfrozen := make(map[int]*Flow, len(fs.active))
-	for id, f := range fs.active {
-		unfrozen[id] = f
+	unfrozen := make([]*Flow, 0, len(fs.active))
+	for _, f := range fs.active {
+		unfrozen = append(unfrozen, f)
+	}
+	sort.Slice(unfrozen, func(i, j int) bool { return unfrozen[i].ID < unfrozen[j].ID })
+	for _, f := range unfrozen {
 		for _, l := range f.Path {
 			weightOn[l] += f.weight()
 		}
 	}
 	for len(unfrozen) > 0 {
 		// Find the bottleneck link: minimal per-weight fair share among
-		// links with unfrozen flows.
+		// links with unfrozen flows (first such link on a tie).
 		bottleneck := -1
 		best := math.Inf(1)
 		for l := range remCap {
@@ -247,8 +281,9 @@ func (fs *FlowSim) recomputeRates() {
 			break
 		}
 		// Freeze every unfrozen flow crossing the bottleneck at its
-		// weighted share of `best`.
-		for id, f := range unfrozen {
+		// weighted share of `best`, in ascending flow-ID order.
+		keep := unfrozen[:0]
+		for _, f := range unfrozen {
 			crosses := false
 			for _, l := range f.Path {
 				if l == bottleneck {
@@ -257,6 +292,7 @@ func (fs *FlowSim) recomputeRates() {
 				}
 			}
 			if !crosses {
+				keep = append(keep, f)
 				continue
 			}
 			f.rate = best * f.weight()
@@ -267,8 +303,16 @@ func (fs *FlowSim) recomputeRates() {
 				}
 				weightOn[l] -= f.weight()
 			}
-			delete(unfrozen, id)
 		}
+		if len(keep) == len(unfrozen) {
+			// No flow crossed the bottleneck: its weightOn is only
+			// floating-point residue from non-integer weights. Retire the
+			// link and keep filling — other links may still constrain
+			// live flows.
+			weightOn[bottleneck] = 0
+			continue
+		}
+		unfrozen = keep
 	}
 }
 
@@ -288,7 +332,9 @@ func (fs *FlowSim) reschedule() {
 		fs.pendingCompletion = nil
 	}
 	fs.recomputeRates()
-	// Earliest completion.
+	// Earliest completion; exact ties break on the lower flow ID, so two
+	// flows finishing at the same instant are recorded in a
+	// run-independent order instead of active-map iteration order.
 	var next *Flow
 	nextAt := sim.Time(math.Inf(1))
 	for _, f := range fs.active {
@@ -296,7 +342,7 @@ func (fs *FlowSim) reschedule() {
 			continue
 		}
 		at := fs.Engine.Now() + sim.Time(f.remaining/f.rate)
-		if at < nextAt {
+		if at < nextAt || (at == nextAt && next != nil && f.ID < next.ID) {
 			nextAt = at
 			next = f
 		}

@@ -1,0 +1,250 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"reflect"
+	"testing"
+
+	"mosaic/internal/refmodel"
+	"mosaic/internal/sim"
+)
+
+// incTraceCase drives IncFlowSim through one randomized trace of
+// arrivals, kills, restores, degrades and time advances, verifying after
+// every mutation:
+//
+//  1. Conservation: per-link allocated rate ≤ capacity.
+//  2. Max-min saturation: every positive-rate flow crosses a saturated
+//     link.
+//  3. Bitwise equivalence with refmodel.MaxMinRates, the always-global
+//     progressive-filling twin.
+func incTraceCase(t *testing.T, seed int64, size int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var (
+		topo *Topology
+		err  error
+	)
+	if seed%2 == 0 {
+		topo, err = NewLeafSpine(2+rng.Intn(size), 1+rng.Intn(3), 1+rng.Intn(3), 100e9)
+	} else {
+		topo, err = NewFleet(2+rng.Intn(2), 1+rng.Intn(size), 1+rng.Intn(3), 1+rng.Intn(3), 100e9)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := topo.Hosts()
+	engine := sim.NewEngine(seed)
+	fs := NewIncFlowSim(topo, engine)
+
+	check := func(step int) {
+		t.Helper()
+		// Conservation + saturation from the engine's internal state.
+		sumRates := make([]float64, len(fs.g.capacity))
+		for _, f := range fs.active {
+			for _, l := range f.Path {
+				sumRates[l] += f.rate
+			}
+		}
+		for l, sum := range sumRates {
+			if cap := fs.g.capacity[l]; sum > cap*(1+1e-9)+1 {
+				t.Fatalf("step %d: link %d oversubscribed: %.6g on %.6g", step, l, sum, cap)
+			}
+		}
+		for id, f := range fs.active {
+			if f.rate <= 0 {
+				continue
+			}
+			saturated := false
+			for _, l := range f.Path {
+				if sumRates[l] >= fs.g.capacity[l]*(1-1e-9)-1 {
+					saturated = true
+					break
+				}
+			}
+			if !saturated {
+				t.Fatalf("step %d: flow %d (rate %.6g) has no saturated link — not max-min", step, id, f.rate)
+			}
+		}
+		// Bitwise equivalence with the global reference.
+		states := fs.FlowStates()
+		flows := make([]refmodel.RefFlow, len(states))
+		for i, st := range states {
+			flows[i] = refmodel.RefFlow{ID: st.ID, Path: st.Path, Weight: st.Weight}
+		}
+		want := refmodel.MaxMinRates(fs.Capacities(), flows)
+		for _, st := range states {
+			if st.Rate != want[st.ID] {
+				t.Fatalf("step %d: flow %d incremental rate %.17g != refmodel %.17g",
+					step, st.ID, st.Rate, want[st.ID])
+			}
+		}
+	}
+
+	steps := 8 * size
+	for s := 0; s < steps; s++ {
+		switch op := rng.Intn(100); {
+		case op < 45:
+			src := hosts[rng.Intn(len(hosts))]
+			dst := hosts[rng.Intn(len(hosts))]
+			if src == dst {
+				continue
+			}
+			w := 1.0
+			if rng.Intn(4) == 0 {
+				w = 0.5 + rng.Float64()*3
+			}
+			_, _ = fs.StartFlowWeighted(src, dst, (0.1+rng.Float64())*1e9, rng.Uint64(), w)
+		case op < 62:
+			engine.RunUntil(engine.Now() + sim.Time(rng.Float64()*0.02))
+		case op < 74:
+			fs.FailLink(rng.Intn(len(topo.Links)))
+		case op < 86:
+			fs.RestoreLink(rng.Intn(len(topo.Links)))
+		default:
+			fs.SetLinkCapacityFraction(rng.Intn(len(topo.Links)), rng.Float64())
+		}
+		check(s)
+	}
+
+	// Restore everything and drain: all flows must finish.
+	for l := range topo.Links {
+		fs.RestoreLink(l)
+	}
+	engine.Run()
+	if n := fs.ActiveFlows(); n != 0 {
+		t.Fatalf("%d flows still active after drain", n)
+	}
+	for _, r := range fs.Records() {
+		if r.FCT() < 0 {
+			t.Fatalf("flow %d has negative FCT %v", r.ID, r.FCT())
+		}
+	}
+}
+
+// TestIncFlowSimProperties is the tier-1 slice of the incremental-engine
+// property suite.
+func TestIncFlowSimProperties(t *testing.T) {
+	for c := 0; c < 12; c++ {
+		c := c
+		t.Run(fmt.Sprintf("case%d", c), func(t *testing.T) {
+			incTraceCase(t, 0x11C0+int64(c)*0x9E3779B1, 4+c%5)
+		})
+	}
+}
+
+// TestIncFlowSimDeepProperties is the verify-deep slice: many more
+// randomized traces at larger sizes (MOSAIC_VERIFY_DEEP=1, run under
+// -race by make verify-deep).
+func TestIncFlowSimDeepProperties(t *testing.T) {
+	if os.Getenv("MOSAIC_VERIFY_DEEP") == "" {
+		t.Skip("set MOSAIC_VERIFY_DEEP=1 to run the deep incremental property suite")
+	}
+	for c := 0; c < 120; c++ {
+		c := c
+		t.Run(fmt.Sprintf("case%d", c), func(t *testing.T) {
+			t.Parallel()
+			incTraceCase(t, 0xDEE9+int64(c)*0x9E3779B1, 5+c%8)
+		})
+	}
+}
+
+// runFleetScenario drives a deterministic fleet workload — seeded
+// arrivals, continuous per-link aging, scripted kills — at the given
+// worker count and returns the event log and final records.
+func runFleetScenario(workers int) ([]string, []FlowRecord) {
+	topo, err := NewFleet(3, 3, 2, 2, 100e9)
+	if err != nil {
+		panic(err)
+	}
+	fs := NewFleetSim(topo, workers)
+	rng := rand.New(rand.NewSource(99))
+	hosts := topo.Hosts()
+	for epoch := 0; epoch < 12; epoch++ {
+		// Continuous aging on a deterministic link subset.
+		for l := 0; l < len(topo.Links); l += 5 {
+			frac := 1 - 0.02*float64(epoch)*float64(1+l%3)
+			if frac < 0 {
+				frac = 0
+			}
+			fs.SetLinkFraction(l, frac)
+		}
+		if epoch == 6 {
+			fs.SetLinkFraction(1, 0) // hard kill mid-run
+		}
+		for i := 0; i < 30; i++ {
+			src := hosts[rng.Intn(len(hosts))]
+			dst := hosts[rng.Intn(len(hosts))]
+			if src == dst {
+				continue
+			}
+			_, _ = fs.Inject(src, dst, (0.5+rng.Float64())*25e9, rng.Uint64())
+		}
+		fs.Step(1)
+	}
+	return fs.EventLog(), fs.Records()
+}
+
+// TestFleetSimWorkerInvariance pins the sharded engine's determinism
+// barrier: the event log and every record must be identical at 1, 3 and
+// GOMAXPROCS workers.
+func TestFleetSimWorkerInvariance(t *testing.T) {
+	refLog, refRecs := runFleetScenario(1)
+	if len(refLog) != 12 {
+		t.Fatalf("want 12 epoch log lines, got %d", len(refLog))
+	}
+	if len(refRecs) == 0 {
+		t.Fatal("scenario completed no flows; it exercises nothing")
+	}
+	for _, w := range []int{3, 0} {
+		log, recs := runFleetScenario(w)
+		if !reflect.DeepEqual(log, refLog) {
+			t.Fatalf("workers=%d: event log diverged from workers=1", w)
+		}
+		if !reflect.DeepEqual(recs, refRecs) {
+			t.Fatalf("workers=%d: records diverged from workers=1", w)
+		}
+	}
+}
+
+// TestFleetSimConservation checks capacity conservation after every
+// epoch: on each link, the frozen rates of the flows indexed on it
+// (locals plus pinned cross proxies) sum to at most its capacity.
+func TestFleetSimConservation(t *testing.T) {
+	topo, err := NewFleet(3, 3, 2, 2, 100e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFleetSim(topo, 0)
+	rng := rand.New(rand.NewSource(7))
+	hosts := topo.Hosts()
+	for epoch := 0; epoch < 10; epoch++ {
+		for l := 0; l < len(topo.Links); l += 4 {
+			fs.SetLinkFraction(l, 1-0.03*float64(epoch))
+		}
+		for i := 0; i < 40; i++ {
+			src := hosts[rng.Intn(len(hosts))]
+			dst := hosts[rng.Intn(len(hosts))]
+			if src == dst {
+				continue
+			}
+			_, _ = fs.Inject(src, dst, (0.5+rng.Float64())*30e9, rng.Uint64())
+		}
+		fs.Step(1)
+		for l := range topo.Links {
+			sh := fs.shards[fs.shardOf[l]]
+			var sum float64
+			for _, ref := range sh.g.linkFlows[l] {
+				sum += ref.f.rate
+			}
+			if cap := fs.capacity[l]; sum > cap*(1+1e-9)+1 {
+				t.Fatalf("epoch %d: link %d oversubscribed: %.6g on %.6g", epoch, l, sum, cap)
+			}
+		}
+	}
+	if fs.ActiveFlows() == 0 {
+		t.Fatal("no active flows at end; scenario too weak")
+	}
+}
