@@ -12,7 +12,7 @@ FUZZ_TARGETS = internal/phy:FuzzFramerDecodeStream internal/phy:FuzzHammingFECDe
 	internal/phy:FuzzRSLiteDecode internal/phy:FuzzParseFramesNeverPanics \
 	internal/mac:FuzzMACDeframe
 
-.PHONY: check vet build test race determinism staticcheck bench bench-mac bench-e24 bench-check coverage fuzz-smoke verify-deep
+.PHONY: check vet build test race determinism staticcheck bench bench-mac bench-e24 bench-check coverage fuzz-smoke verify-deep soak-fleetd
 
 check: vet staticcheck build test race determinism
 
@@ -40,17 +40,21 @@ race:
 
 # The doubled PHY determinism run plus the sharded flow engine's
 # worker-invariance goldens: the E24 fleet table (and its epoch
-# event-log sha) at 1 worker vs GOMAXPROCS, and the netsim fleet
-# scenario at 1/3/GOMAXPROCS workers.
+# event-log sha) at 1 worker vs GOMAXPROCS, the netsim fleet
+# scenario at 1/3/GOMAXPROCS workers, and the fleetd service's
+# scripted-scenario event-log sha (1/3/GOMAXPROCS pool workers, plus
+# the 50-iteration concurrent-admission invariance run).
 determinism:
 	$(GO) test -run TestDeterminism -count=2 ./internal/phy/
 	$(GO) test -run 'TestFleetSimWorkerInvariance' -count=1 ./internal/netsim/
 	$(GO) test -run 'TestE24DeterministicAcrossWorkers' -count=1 ./internal/experiments/
+	$(GO) test -run 'TestFleetdDeterministicAcrossWorkers|TestConcurrentAdmissionDeterministic' -count=1 ./internal/fleetd/
 
 # Not part of check: the time-and-allocation benchmarks. E10 exercises
 # the whole pipeline (7 reach points, construction + exchange); the
 # steady-state Exchange and the MAC round trips are pinned
-# allocation-free. Every benchmark runs -count=$(BENCH_COUNT) and
+# allocation-free; FleetdAdmit pins the cost of admitting one link into
+# a live fleet and stepping it through an epoch. Every benchmark runs -count=$(BENCH_COUNT) and
 # benchguard folds the repeats min-of-N (min ns/op, max allocs/op)
 # before gating, so scheduler noise cannot fail a healthy run. The fast
 # benchmarks get a larger -benchtime so their ns/op figure is a real
@@ -60,7 +64,8 @@ bench:
 	@$(GO) test -bench 'BenchmarkE10EndToEnd$$' -benchmem -benchtime 3x -count=$(BENCH_COUNT) -run '^$$' . && \
 	$(GO) test -bench 'BenchmarkExchangeSteadyState$$|BenchmarkMACFrameRoundTrip$$|BenchmarkMACFrameRoundTripSR$$' \
 		-benchmem -benchtime 1000x -count=$(BENCH_COUNT) -run '^$$' . && \
-	$(GO) test -bench 'BenchmarkE24FleetFlows$$' -benchmem -benchtime 1x -count=2 -run '^$$' -timeout 30m .
+	$(GO) test -bench 'BenchmarkE24FleetFlows$$' -benchmem -benchtime 1x -count=2 -run '^$$' -timeout 30m . && \
+	$(GO) test -bench 'BenchmarkFleetdAdmit$$' -benchmem -benchtime 500x -count=$(BENCH_COUNT) -run '^$$' .
 
 # Standalone MAC framing benchmark at a stable iteration count; the JSON
 # record (no gating here — bench-check gates) lands in BENCH_MAC.json.
@@ -111,6 +116,20 @@ verify-deep:
 		MOSAIC_DIFF_OUT=DIVERGENCE.json \
 		$(GO) test -race -run TestDiffDeep -v -timeout 60m ./internal/diffcheck/
 	MOSAIC_VERIFY_DEEP=1 $(GO) test -race -run TestIncFlowSimDeepProperties -timeout 60m ./internal/netsim/
+
+# The mosaicfleetd acceptance soak: >=2000 concurrent serving links
+# stepped continuously for SOAK_SECONDS under the race detector while
+# concurrent clients throw scrape, fault, and admission traffic at the
+# HTTP API. Passes only with zero races, zero dropped serving links,
+# and /healthz answering 200 throughout (503 allowed only inside the
+# induced overload window). The final /metrics exposition lands in
+# FLEETD_METRICS.prom for the CI artifact upload. Not part of check
+# (it holds the wall clock for a minute); CI runs it as its own job.
+SOAK_SECONDS ?= 60
+soak-fleetd:
+	MOSAIC_FLEETD_SOAK=1 MOSAIC_FLEETD_SOAK_SECONDS=$(SOAK_SECONDS) \
+		FLEETD_METRICS_OUT=$(CURDIR)/FLEETD_METRICS.prom \
+		$(GO) test -race -run 'TestFleetSoak$$' -v -timeout 20m ./internal/fleetd/
 
 # CI fuzz smoke: each pkg:target pair gets a short budget (go test runs
 # one fuzz target at a time, so this is a loop, not a single invocation).

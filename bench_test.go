@@ -20,6 +20,7 @@ import (
 	"mosaic/internal/channel"
 	"mosaic/internal/core"
 	"mosaic/internal/experiments"
+	"mosaic/internal/fleetd"
 	"mosaic/internal/mac"
 	"mosaic/internal/phy"
 	"mosaic/internal/power"
@@ -474,5 +475,39 @@ func BenchmarkMACFrameRoundTripSR(b *testing.B) {
 	b.StopTimer()
 	if delivered != b.N {
 		b.Fatalf("delivered %d/%d packets", delivered, b.N)
+	}
+}
+
+// BenchmarkFleetdAdmit prices one fleet admission end to end: the
+// admission gate (token bucket, budget checks, topology slot, event
+// log) plus the epoch that constructs the link's PHY/MAC/bridge stack
+// and walks it into bring-up. StepBudget=1 keeps the per-epoch serving
+// work constant, so the figure measures admission cost, not fleet size.
+// Pinned in ci/bench_baseline.json via make bench-check.
+func BenchmarkFleetdAdmit(b *testing.B) {
+	cfg := fleetd.DefaultConfig()
+	cfg.Budgets.AdmitBurst = float64(cfg.Budgets.MaxLinks)
+	cfg.Budgets.StepBudget = 1
+	cfg.Budgets.FlowsPerEpoch = 0
+	cfg.Budgets.DetailLinks = 0
+	cfg.Design.Hazard = 0
+	f, err := fleetd.New(cfg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if b.N > cfg.Budgets.MaxLinks {
+		b.Fatalf("b.N=%d exceeds the fleet budget %d; lower -benchtime", b.N, cfg.Budgets.MaxLinks)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Create(1, nil); err != nil {
+			b.Fatal(err)
+		}
+		f.Step()
+	}
+	b.StopTimer()
+	if got := f.Snapshot().LiveLinks; got != b.N {
+		b.Fatalf("%d live links after %d admissions", got, b.N)
 	}
 }

@@ -28,9 +28,15 @@
 //
 // The HTTP side never touches the link: scrapes read only the registry's
 // atomics, which the soak goroutine refreshes at superframe boundaries.
+//
+// On SIGTERM/SIGINT the daemon drains gracefully: the soak goroutine is
+// told to stop and given the remainder of its current round to finish
+// (bounded by the shutdown grace), then the HTTP server shuts down with
+// http.Server.Shutdown so in-flight scrapes complete.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -45,6 +51,7 @@ import (
 	"mosaic/internal/phy"
 	"mosaic/internal/sim"
 	"mosaic/internal/telemetry"
+	"mosaic/internal/telemetry/httpx"
 )
 
 func main() {
@@ -150,14 +157,31 @@ func main() {
 		arq:         arq,
 		vcs:         *vcCount,
 	}
+	// The soak goroutine checks stop at round boundaries and closes done
+	// when it exits; Drain waits for it up to the shutdown grace.
+	stop := make(chan struct{})
+	done := make(chan struct{})
 	if *macMode {
-		go macSoakLoop(newLink, reg, roundsTotal, replacements, params)
+		go macSoakLoop(newLink, reg, roundsTotal, replacements, params, stop, done)
 	} else {
-		go soakLoop(newLink, reg, roundsTotal, replacements, params)
+		go soakLoop(newLink, reg, roundsTotal, replacements, params, stop, done)
 	}
 
+	d := &httpx.Daemon{
+		Addr:    *addr,
+		Handler: httpx.NewMux(reg, healthz),
+		Drain: func(ctx context.Context) {
+			close(stop)
+			select {
+			case <-done:
+				log.Printf("linkmetricsd: soak drained after %d rounds", roundsTotal.Value())
+			case <-ctx.Done():
+				log.Printf("linkmetricsd: soak still mid-round at shutdown deadline")
+			}
+		},
+	}
 	log.Printf("linkmetricsd: serving /metrics /metrics.json /healthz /debug/pprof on %s", *addr)
-	if err := http.ListenAndServe(*addr, telemetry.NewMux(reg, healthz)); err != nil {
+	if err := d.ListenAndServe(); err != nil {
 		fatal(err)
 	}
 }
@@ -174,11 +198,19 @@ type soakParams struct {
 
 // soakLoop runs soak rounds forever (or for params.rounds), feeding reg.
 // A round that fails — a link with no lanes left cannot Exchange — swaps
-// in a fresh link and keeps going.
+// in a fresh link and keeps going. It checks stop at round boundaries and
+// closes done on exit, so shutdown waits at most one round.
 func soakLoop(newLink func() *phy.Link, reg *telemetry.Registry,
-	roundsTotal, replacements *telemetry.Counter, p soakParams) {
+	roundsTotal, replacements *telemetry.Counter, p soakParams,
+	stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
 	link := newLink()
 	for round := 0; p.rounds == 0 || round < p.rounds; round++ {
+		select {
+		case <-stop:
+			return
+		default:
+		}
 		var sched faultinject.Schedule
 		if p.hazard > 0 {
 			sched = faultinject.RandomKills(rand.New(rand.NewSource(p.seed+int64(round))),
@@ -221,9 +253,12 @@ func (nullSink) SetLinkCapacityFraction(int, float64) {}
 // session, so the registry carries the mosaic_mac_* set (retransmits,
 // replay occupancy, credit stalls, renegotiations) on top of the
 // per-link metrics. Links persist across rounds and wear out; a round
-// that cannot run swaps in a fresh pair.
+// that cannot run swaps in a fresh pair. Like soakLoop it stops at round
+// boundaries and closes done on exit.
 func macSoakLoop(newLink func() *phy.Link, reg *telemetry.Registry,
-	roundsTotal, replacements *telemetry.Counter, p soakParams) {
+	roundsTotal, replacements *telemetry.Counter, p soakParams,
+	stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
 	var pc mac.PairConfig
 	pc.Endpoint.ARQ = p.arq
 	pc.Endpoint.VCs = p.vcs
@@ -246,6 +281,11 @@ func macSoakLoop(newLink func() *phy.Link, reg *telemetry.Registry,
 	}
 	fwd, rev := newLink(), newLink()
 	for round := 0; p.rounds == 0 || round < p.rounds; round++ {
+		select {
+		case <-stop:
+			return
+		default:
+		}
 		var sched faultinject.Schedule
 		if p.hazard > 0 {
 			sched = faultinject.RandomKills(rand.New(rand.NewSource(p.seed+int64(round))),

@@ -1,0 +1,81 @@
+package fleetd
+
+import "fmt"
+
+// tokenBucket is the admission gate. It refills in epoch time, not wall
+// time, so the deterministic core and the daemon share one
+// implementation: the epoch loop calls refill() once per Step, and every
+// admission (HTTP or scripted) spends a token under the fleet lock.
+type tokenBucket struct {
+	tokens   float64
+	burst    float64
+	perEpoch float64
+}
+
+func newTokenBucket(perEpoch, burst float64) tokenBucket {
+	return tokenBucket{tokens: burst, burst: burst, perEpoch: perEpoch}
+}
+
+func (b *tokenBucket) refill() {
+	b.tokens += b.perEpoch
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+}
+
+// take spends n tokens, or reports false leaving the bucket untouched.
+func (b *tokenBucket) take(n float64) bool {
+	if b.tokens < n {
+		return false
+	}
+	b.tokens -= n
+	return true
+}
+
+// resize re-parameterizes the bucket on a config reload, clamping the
+// current fill to the new burst so a tightened budget bites immediately.
+func (b *tokenBucket) resize(perEpoch, burst float64) {
+	b.perEpoch = perEpoch
+	b.burst = burst
+	if b.tokens > burst {
+		b.tokens = burst
+	}
+}
+
+// ShedReason says why an operation was refused admission. The API layer
+// maps every shed to 429 and counts it per reason.
+type ShedReason string
+
+const (
+	ShedRate     ShedReason = "rate"     // token bucket empty
+	ShedLinks    ShedReason = "links"    // MaxLinks budget reached
+	ShedTopology ShedReason = "topology" // no free slot in the fleet topology
+	ShedScrape   ShedReason = "scrape"   // scrape budget exhausted this epoch
+	ShedDraining ShedReason = "draining" // fleet is draining; admissions stopped
+)
+
+// ShedError is the typed refusal an admission-controlled operation
+// returns when a budget gate sheds it.
+type ShedError struct {
+	Reason ShedReason
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("fleetd: shed (%s)", e.Reason)
+}
+
+// AdmissionStats counts admission outcomes for telemetry and /healthz.
+type AdmissionStats struct {
+	Admitted     uint64 `json:"admitted"`
+	Retired      uint64 `json:"retired"`
+	ShedRate     uint64 `json:"shed_rate"`
+	ShedLinks    uint64 `json:"shed_links"`
+	ShedTopology uint64 `json:"shed_topology"`
+	ShedScrape   uint64 `json:"shed_scrape"`
+	ShedDraining uint64 `json:"shed_draining"`
+}
+
+// Sheds sums every shed class.
+func (a AdmissionStats) Sheds() uint64 {
+	return a.ShedRate + a.ShedLinks + a.ShedTopology + a.ShedScrape + a.ShedDraining
+}

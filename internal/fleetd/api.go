@@ -1,0 +1,357 @@
+package fleetd
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+
+	"mosaic/internal/telemetry"
+	"mosaic/internal/telemetry/httpx"
+)
+
+// Server is the HTTP/JSON face of a Fleet: the admission-controlled
+// operation API plus the standard operational mux (metrics, health,
+// pprof) with per-epoch scrape-load shedding.
+//
+//	POST /v1/links                  {"count":N,"design":{...}}   admit links
+//	GET  /v1/links?limit=N          list live links
+//	GET  /v1/links/{id}             inspect one link (tombstones included)
+//	POST /v1/links/{id}/degrade     {"kill":K}                   induce faults
+//	POST /v1/links/{id}/renegotiate                              commit degraded width
+//	POST /v1/links/{id}/retire                                   drain and retire
+//	POST /v1/links/batch            [{"action":...},...]         batched ops
+//	POST /reload                    re-validate and swap budgets/design
+//	GET  /v1/fleet                  fleet snapshot (states, admission, pool)
+//	GET  /healthz                   200; 503 while overloaded or draining
+//
+// Error mapping: shed operations return 429 (with the reason and the
+// shed counters bumped), illegal lifecycle edges 409, unknown links
+// 404, malformed requests 400.
+type Server struct {
+	fleet *Fleet
+	reg   *telemetry.Registry
+
+	// ReloadConfig, when non-nil, is invoked by POST /reload with no
+	// body (and by SIGHUP via the daemon shell): it re-reads the config
+	// source and calls Fleet.Reload. A request with a JSON body bypasses
+	// it and reloads from the body.
+	ReloadConfig func() error
+
+	scrapeEpoch atomic.Uint64
+	scrapes     atomic.Int64
+}
+
+// NewServer wires a server for the fleet. reg must be the registry the
+// fleet publishes into.
+func NewServer(f *Fleet, reg *telemetry.Registry) *Server {
+	return &Server{fleet: f, reg: reg}
+}
+
+// Handler builds the full route set on the shared operational mux.
+func (s *Server) Handler() http.Handler {
+	mux := httpx.NewMux(s.reg, s.healthz)
+	mux.HandleFunc("POST /v1/links", s.handleCreate)
+	mux.HandleFunc("GET /v1/links", s.handleList)
+	mux.HandleFunc("GET /v1/links/{id}", s.handleInspect)
+	mux.HandleFunc("POST /v1/links/{id}/degrade", s.handleDegrade)
+	mux.HandleFunc("POST /v1/links/{id}/renegotiate", s.handleRenegotiate)
+	mux.HandleFunc("POST /v1/links/{id}/retire", s.handleRetire)
+	mux.HandleFunc("POST /v1/links/batch", s.handleBatch)
+	mux.HandleFunc("POST /reload", s.handleReload)
+	mux.HandleFunc("GET /v1/fleet", s.handleFleet)
+	return s.scrapeGate(mux)
+}
+
+// scrapeGate sheds /metrics traffic beyond the per-epoch budget with
+// 429, counting every shed. /healthz is never gated — health must stay
+// observable through an overload window.
+func (s *Server) scrapeGate(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/metrics" || r.URL.Path == "/metrics.json" {
+			if !s.allowScrape() {
+				s.fleet.CountScrapeShed()
+				http.Error(w, "scrape budget exceeded; retry next epoch", http.StatusTooManyRequests)
+				return
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// allowScrape admits a scrape against the per-epoch budget. The
+// counter resets when the epoch advances; the reset race is benign
+// (a scrape or two of slack, never a stuck gate).
+func (s *Server) allowScrape() bool {
+	snap := s.fleet.Snapshot()
+	if snap.ScrapeBudget <= 0 {
+		return true
+	}
+	if e := snap.Epoch; s.scrapeEpoch.Load() != e {
+		s.scrapeEpoch.Store(e)
+		s.scrapes.Store(0)
+	}
+	return s.scrapes.Add(1) <= snap.ScrapeBudget
+}
+
+func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
+	snap := s.fleet.Snapshot()
+	status, code := "ok", http.StatusOK
+	if snap.Overloaded {
+		status, code = "overloaded", http.StatusServiceUnavailable
+	}
+	if snap.Draining {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status": status,
+		"fleet":  snap,
+	})
+}
+
+// writeErr maps fleet errors onto HTTP statuses.
+func writeErr(w http.ResponseWriter, err error) {
+	var shed *ShedError
+	var edge *TransitionError
+	code := http.StatusBadRequest
+	switch {
+	case errors.As(err, &shed):
+		code = http.StatusTooManyRequests
+	case errors.As(err, &edge):
+		code = http.StatusConflict
+	case errors.Is(err, ErrUnknownLink):
+		code = http.StatusNotFound
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type createRequest struct {
+	Count  int         `json:"count"`
+	Design *LinkDesign `json:"design,omitempty"`
+}
+
+type createResponse struct {
+	IDs  []int  `json:"ids"`
+	Shed string `json:"shed,omitempty"` // reason, when the batch was cut short
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req createRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if req.Count == 0 {
+		req.Count = 1
+	}
+	ids, err := s.fleet.Create(req.Count, req.Design)
+	resp := createResponse{IDs: ids}
+	var shed *ShedError
+	if errors.As(err, &shed) {
+		resp.Shed = string(shed.Reason)
+		if len(ids) == 0 {
+			writeJSON(w, http.StatusTooManyRequests, resp)
+			return
+		}
+	} else if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	limit := 0
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeErr(w, errors.New("fleetd: bad limit"))
+			return
+		}
+		limit = n
+	}
+	writeJSON(w, http.StatusOK, s.fleet.List(limit))
+}
+
+func (s *Server) linkID(w http.ResponseWriter, r *http.Request) (int, bool) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, errors.New("fleetd: bad link id"))
+		return 0, false
+	}
+	return id, true
+}
+
+func (s *Server) handleInspect(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.linkID(w, r)
+	if !ok {
+		return
+	}
+	info, ok := s.fleet.Inspect(id)
+	if !ok {
+		writeErr(w, ErrUnknownLink)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleDegrade(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.linkID(w, r)
+	if !ok {
+		return
+	}
+	var req struct {
+		Kill int `json:"kill"`
+	}
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if req.Kill == 0 {
+		req.Kill = 1
+	}
+	if err := s.fleet.Degrade(id, req.Kill); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"link": id, "killed": req.Kill})
+}
+
+func (s *Server) handleRenegotiate(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.linkID(w, r)
+	if !ok {
+		return
+	}
+	if err := s.fleet.Renegotiate(id); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"link": id, "state": StateRenegotiating.String()})
+}
+
+func (s *Server) handleRetire(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.linkID(w, r)
+	if !ok {
+		return
+	}
+	if err := s.fleet.Retire(id); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"link": id, "state": StateDraining.String()})
+}
+
+// handleBatch applies a sequence of ops in order. Each op gets its own
+// outcome; the response is 200 with per-op results (an all-shed batch
+// still reports per-op, like partial admission does).
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var ops []Op
+	if err := decodeBody(r, &ops); err != nil {
+		writeErr(w, err)
+		return
+	}
+	type outcome struct {
+		OK    bool   `json:"ok"`
+		IDs   []int  `json:"ids,omitempty"`
+		Error string `json:"error,omitempty"`
+	}
+	results := make([]outcome, 0, len(ops))
+	for _, op := range ops {
+		var out outcome
+		switch op.Action {
+		case "create":
+			n := op.Count
+			if n <= 0 {
+				n = 1
+			}
+			ids, err := s.fleet.Create(n, op.Design)
+			out.IDs = ids
+			out.OK = err == nil
+			if err != nil {
+				out.Error = err.Error()
+			}
+		case "degrade":
+			k := op.Kill
+			if k <= 0 {
+				k = 1
+			}
+			err := s.fleet.Degrade(op.Link, k)
+			out.OK = err == nil
+			if err != nil {
+				out.Error = err.Error()
+			}
+		case "renegotiate":
+			err := s.fleet.Renegotiate(op.Link)
+			out.OK = err == nil
+			if err != nil {
+				out.Error = err.Error()
+			}
+		case "retire":
+			err := s.fleet.Retire(op.Link)
+			out.OK = err == nil
+			if err != nil {
+				out.Error = err.Error()
+			}
+		default:
+			out.Error = "unknown action " + op.Action
+		}
+		results = append(results, out)
+	}
+	writeJSON(w, http.StatusOK, results)
+}
+
+// handleReload re-validates and swaps budgets/design. With a JSON body
+// the new config comes from the body; with an empty body the external
+// ReloadConfig hook (the config file the daemon was started with)
+// runs instead.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.ContentLength == 0 {
+		if s.ReloadConfig == nil {
+			writeErr(w, errors.New("fleetd: no config source to reload from (send a JSON body)"))
+			return
+		}
+		if err := s.ReloadConfig(); err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "reloaded"})
+		return
+	}
+	cfg, err := DecodeConfig(r.Body)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := s.fleet.Reload(cfg); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "reloaded"})
+}
+
+func (s *Server) handleFleet(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.fleet.Snapshot())
+}
+
+func decodeBody(r *http.Request, v any) error {
+	if r.ContentLength == 0 {
+		return nil
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return errors.New("fleetd: bad request body: " + err.Error())
+	}
+	return nil
+}

@@ -1,0 +1,322 @@
+package fleetd
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mosaic/internal/telemetry"
+)
+
+type apiHarness struct {
+	t     *testing.T
+	fleet *Fleet
+	srv   *Server
+	ts    *httptest.Server
+}
+
+func newAPIHarness(t *testing.T, cfg Config) *apiHarness {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	f, err := New(cfg, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(f, reg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return &apiHarness{t: t, fleet: f, srv: srv, ts: ts}
+}
+
+func (h *apiHarness) do(method, path string, body any) (int, []byte) {
+	h.t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			h.t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, h.ts.URL+path, rd)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		h.t.Fatalf("%s %s: %v", method, path, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func (h *apiHarness) decode(data []byte, v any) {
+	h.t.Helper()
+	if err := json.Unmarshal(data, v); err != nil {
+		h.t.Fatalf("bad JSON %q: %v", data, err)
+	}
+}
+
+func TestAPILifecycle(t *testing.T) {
+	h := newAPIHarness(t, testConfig(1))
+
+	// Create two links.
+	code, body := h.do("POST", "/v1/links", map[string]int{"count": 2})
+	if code != http.StatusCreated {
+		t.Fatalf("create = %d %s", code, body)
+	}
+	var created createResponse
+	h.decode(body, &created)
+	if len(created.IDs) != 2 {
+		t.Fatalf("created %v", created.IDs)
+	}
+
+	// Bring them up.
+	for i := 0; i < 6; i++ {
+		h.fleet.Step()
+	}
+
+	// List and inspect.
+	code, body = h.do("GET", "/v1/links?limit=1", nil)
+	var list []LinkInfo
+	h.decode(body, &list)
+	if code != http.StatusOK || len(list) != 1 || list[0].ID != 0 {
+		t.Fatalf("list = %d %s", code, body)
+	}
+	code, body = h.do("GET", "/v1/links/1", nil)
+	var info LinkInfo
+	h.decode(body, &info)
+	if code != http.StatusOK || info.ID != 1 || info.State != "serving" {
+		t.Fatalf("inspect = %d %+v", code, info)
+	}
+	if code, _ = h.do("GET", "/v1/links/99", nil); code != http.StatusNotFound {
+		t.Fatalf("inspect unknown = %d", code)
+	}
+	if code, _ = h.do("GET", "/v1/links/bogus", nil); code != http.StatusBadRequest {
+		t.Fatalf("inspect non-numeric = %d", code)
+	}
+
+	// Degrade past the spare pool, step, renegotiate, step.
+	kill := h.fleet.cfg.Design.Spares + 2
+	code, body = h.do("POST", "/v1/links/0/degrade", map[string]int{"kill": kill})
+	if code != http.StatusOK {
+		t.Fatalf("degrade = %d %s", code, body)
+	}
+	h.fleet.Step()
+	if s, _ := h.fleet.StateOf(0); s != StateDegraded {
+		t.Fatalf("after degrade: %s", s)
+	}
+	// Renegotiating a healthy link is a 409.
+	if code, _ = h.do("POST", "/v1/links/1/renegotiate", nil); code != http.StatusConflict {
+		t.Fatalf("renegotiate serving link = %d, want 409", code)
+	}
+	if code, body = h.do("POST", "/v1/links/0/renegotiate", nil); code != http.StatusOK {
+		t.Fatalf("renegotiate = %d %s", code, body)
+	}
+	h.fleet.Step()
+	if s, _ := h.fleet.StateOf(0); s != StateServing {
+		t.Fatalf("after renegotiate: %s", s)
+	}
+
+	// Retire and drain out.
+	if code, body = h.do("POST", "/v1/links/0/retire", nil); code != http.StatusOK {
+		t.Fatalf("retire = %d %s", code, body)
+	}
+	for i := 0; i < 20; i++ {
+		h.fleet.Step()
+	}
+	code, body = h.do("GET", "/v1/links/0", nil)
+	h.decode(body, &info)
+	if code != http.StatusOK || info.State != "retired" {
+		t.Fatalf("tombstone = %d %+v", code, info)
+	}
+
+	// Fleet snapshot reflects all of it.
+	code, body = h.do("GET", "/v1/fleet", nil)
+	var snap Snapshot
+	h.decode(body, &snap)
+	if code != http.StatusOK || snap.LiveLinks != 1 || snap.Admission.Retired != 1 {
+		t.Fatalf("fleet = %d %s", code, body)
+	}
+}
+
+func TestAPIBatch(t *testing.T) {
+	h := newAPIHarness(t, testConfig(1))
+	ops := []Op{
+		{Action: "create", Count: 2},
+		{Action: "retire", Link: 0},
+		{Action: "renegotiate", Link: 1}, // conflict: still admitted
+		{Action: "frobnicate"},
+	}
+	code, body := h.do("POST", "/v1/links/batch", ops)
+	if code != http.StatusOK {
+		t.Fatalf("batch = %d %s", code, body)
+	}
+	var results []struct {
+		OK    bool   `json:"ok"`
+		IDs   []int  `json:"ids"`
+		Error string `json:"error"`
+	}
+	h.decode(body, &results)
+	if len(results) != 4 {
+		t.Fatalf("batch results: %s", body)
+	}
+	if !results[0].OK || len(results[0].IDs) != 2 {
+		t.Errorf("batch create: %+v", results[0])
+	}
+	if !results[1].OK {
+		t.Errorf("batch retire: %+v", results[1])
+	}
+	if results[2].OK || !strings.Contains(results[2].Error, "illegal transition") {
+		t.Errorf("batch conflict: %+v", results[2])
+	}
+	if results[3].OK || !strings.Contains(results[3].Error, "unknown action") {
+		t.Errorf("batch unknown action: %+v", results[3])
+	}
+}
+
+// TestAPIAdmissionShedding: past the token bucket the API answers 429
+// and the shed counters advance; /healthz reports the overload window
+// at the next epoch and recovers after a quiet one.
+func TestAPIAdmissionShedding(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.Budgets.AdmitPerEpoch = 1
+	cfg.Budgets.AdmitBurst = 2
+	h := newAPIHarness(t, cfg)
+
+	code, body := h.do("POST", "/v1/links", map[string]int{"count": 5})
+	if code != http.StatusCreated {
+		t.Fatalf("partial create = %d %s", code, body)
+	}
+	var created createResponse
+	h.decode(body, &created)
+	if len(created.IDs) != 2 || created.Shed != string(ShedRate) {
+		t.Fatalf("partial create: %+v", created)
+	}
+
+	// Bucket is dry: the next create sheds entirely.
+	if code, _ = h.do("POST", "/v1/links", nil); code != http.StatusTooManyRequests {
+		t.Fatalf("dry-bucket create = %d, want 429", code)
+	}
+
+	// The epoch that follows the sheds reports overload on /healthz...
+	h.fleet.Step()
+	code, body = h.do("GET", "/healthz", nil)
+	if code != http.StatusServiceUnavailable || !strings.Contains(string(body), "overloaded") {
+		t.Fatalf("healthz during overload window = %d %s", code, body)
+	}
+	// ...and a quiet epoch clears it.
+	h.fleet.Step()
+	if code, body = h.do("GET", "/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz after quiet epoch = %d %s", code, body)
+	}
+}
+
+// TestAPIScrapeGate: /metrics beyond the per-epoch budget sheds with
+// 429 while /healthz stays reachable; the next epoch resets the gate.
+func TestAPIScrapeGate(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.Budgets.ScrapePerEpoch = 2
+	h := newAPIHarness(t, cfg)
+
+	for i := 0; i < 2; i++ {
+		if code, _ := h.do("GET", "/metrics", nil); code != http.StatusOK {
+			t.Fatalf("scrape %d = %d", i, code)
+		}
+	}
+	if code, _ := h.do("GET", "/metrics", nil); code != http.StatusTooManyRequests {
+		t.Fatal("third scrape not shed")
+	}
+	if code, _ := h.do("GET", "/metrics.json", nil); code != http.StatusTooManyRequests {
+		t.Fatal("json scrape not shed")
+	}
+	// Health stays observable straight through the shed window. (The
+	// fleet books the sheds, so this is the overload 503 — but it must
+	// answer, not 429.)
+	if code, _ := h.do("GET", "/healthz", nil); code == http.StatusTooManyRequests {
+		t.Fatal("healthz shed by the scrape gate")
+	}
+	if h.fleet.Admission().ShedScrape != 2 {
+		t.Fatalf("scrape sheds = %d, want 2", h.fleet.Admission().ShedScrape)
+	}
+
+	h.fleet.Step()
+	if code, _ := h.do("GET", "/metrics", nil); code != http.StatusOK {
+		t.Fatal("scrape gate did not reset at the epoch")
+	}
+}
+
+func TestAPIReload(t *testing.T) {
+	h := newAPIHarness(t, testConfig(1))
+
+	// Body reload: tighten MaxLinks.
+	newCfg := testConfig(1)
+	newCfg.Budgets.MaxLinks = 1
+	code, body := h.do("POST", "/reload", newCfg)
+	if code != http.StatusOK {
+		t.Fatalf("reload = %d %s", code, body)
+	}
+	if h.fleet.Snapshot().MaxLinks == 1 {
+		t.Fatal("snapshot refreshed before an epoch") // barrier refreshes it
+	}
+	h.fleet.Step()
+	if got := h.fleet.Snapshot().MaxLinks; got != 1 {
+		t.Fatalf("MaxLinks after reload = %d", got)
+	}
+
+	// A reload that tries to change the seed is a 400.
+	newCfg.Seed = 123
+	if code, _ = h.do("POST", "/reload", newCfg); code != http.StatusBadRequest {
+		t.Fatalf("seed-changing reload = %d, want 400", code)
+	}
+
+	// Empty body without a hook is a 400; with a hook it runs the hook.
+	if code, _ = h.do("POST", "/reload", nil); code != http.StatusBadRequest {
+		t.Fatalf("hookless empty reload = %d, want 400", code)
+	}
+	ran := false
+	h.srv.ReloadConfig = func() error { ran = true; return nil }
+	if code, _ = h.do("POST", "/reload", nil); code != http.StatusOK || !ran {
+		t.Fatalf("hooked reload = %d ran=%v", code, ran)
+	}
+}
+
+func TestAPIBadRequests(t *testing.T) {
+	h := newAPIHarness(t, testConfig(1))
+	for _, tc := range []struct {
+		method, path, body string
+	}{
+		{"POST", "/v1/links", `{"count": "many"}`},
+		{"POST", "/v1/links", `{"unknown_field": 1}`},
+		{"POST", "/v1/links/batch", `{"not": "an array"}`},
+		{"GET", "/v1/links?limit=-3", ""},
+	} {
+		req, err := http.NewRequest(tc.method, h.ts.URL+tc.path, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s %s %q = %d, want 400", tc.method, tc.path, tc.body, resp.StatusCode)
+		}
+	}
+	// A create with an invalid design override is a 400 too.
+	bad := DefaultLinkDesign()
+	bad.UnitLen = 10 // not a multiple of 9
+	code, _ := h.do("POST", "/v1/links", createRequest{Count: 1, Design: &bad})
+	if code != http.StatusBadRequest {
+		t.Fatalf("invalid design create = %d, want 400", code)
+	}
+}

@@ -1,0 +1,626 @@
+package fleetd
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"mosaic/internal/netsim"
+	"mosaic/internal/sim"
+	"mosaic/internal/telemetry"
+)
+
+// epochSimLen is how much simulated time the fleet-wide flow engine
+// advances per service epoch.
+const epochSimLen = 10 * sim.Millisecond
+
+// ErrUnknownLink is returned by operations naming a link ID the fleet
+// does not hold (never admitted, or retired and pruned).
+var ErrUnknownLink = errors.New("fleetd: unknown link")
+
+// Fleet is the deterministic core of the service: the managed links,
+// the shared work-stealing pool, the admission gate, the fleet-wide
+// flow simulator the bridges publish into, and the merged event log.
+//
+// All operations and Step serialize on one mutex; the pooled fan-out
+// inside Step is the only concurrency, and it writes exclusively into
+// per-link buffers merged at the barrier in ascending link-ID order —
+// the invariant behind the worker-count-invariant event log.
+type Fleet struct {
+	mu   sync.Mutex
+	cfg  Config
+	pool *pool
+
+	links  map[int]*managedLink
+	order  []int // live link IDs, ascending (nextID is monotonic)
+	nextID int
+	rotor  int // next link ID owed a serving step by the budget rotor
+
+	bucket    tokenBucket
+	adm       AdmissionStats
+	lastSheds uint64 // adm.Sheds() at the previous barrier (overload detection)
+	draining  bool
+
+	epoch      uint64
+	log        []string
+	maxLog     int
+	logDropped uint64
+
+	topo          *netsim.Topology
+	fsim          *netsim.FleetSim
+	freeTopo      intHeap // free host-link slots in the fleet topology
+	hosts         []int
+	flowRNG       *rand.Rand
+	flowsInjected uint64
+
+	retired    map[int]LinkInfo
+	retiredIDs []int // admission order, for pruning
+
+	reg      *telemetry.Registry
+	col      *telemetry.FleetCollector
+	linkCols map[int]*telemetry.FleetLinkCollector
+
+	// snap is the lock-free health view: /healthz and load-shedding
+	// decisions read it without taking the fleet lock (a scrape must
+	// never wait out an epoch barrier).
+	snap atomic.Pointer[Snapshot]
+}
+
+// Snapshot is the lock-free fleet summary refreshed at every barrier.
+type Snapshot struct {
+	Epoch       uint64         `json:"epoch"`
+	States      map[string]int `json:"states"`
+	LiveLinks   int            `json:"live_links"`
+	MaxLinks    int            `json:"max_links"`
+	Draining    bool           `json:"draining"`
+	Overloaded  bool           `json:"overloaded"` // sheds occurred in the last epoch
+	Admission   AdmissionStats `json:"admission"`
+	Pool        PoolStats      `json:"pool"`
+	ActiveFlows int            `json:"active_flows"`
+
+	// ScrapeBudget mirrors Budgets.ScrapePerEpoch so the HTTP scrape gate
+	// can shed without taking the fleet lock.
+	ScrapeBudget int64 `json:"scrape_budget"`
+}
+
+// New builds a fleet from cfg. reg may be nil (no telemetry). The fleet
+// topology is sized once, from the MaxLinks budget at creation: a later
+// hot-reload can shrink or grow every budget, but admissions beyond the
+// built topology shed with reason "topology".
+func New(cfg Config, reg *telemetry.Registry) (*Fleet, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	f := &Fleet{
+		cfg:      cfg,
+		pool:     newPool(cfg.Workers),
+		links:    make(map[int]*managedLink),
+		bucket:   newTokenBucket(cfg.Budgets.AdmitPerEpoch, cfg.Budgets.AdmitBurst),
+		maxLog:   cfg.MaxLog,
+		retired:  make(map[int]LinkInfo),
+		reg:      reg,
+		linkCols: make(map[int]*telemetry.FleetLinkCollector),
+		flowRNG:  rand.New(rand.NewSource(cfg.Seed + 0x5eed)),
+	}
+	if f.maxLog <= 0 {
+		f.maxLog = 200000
+	}
+
+	// Fleet topology: enough host-ToR links for MaxLinks members, in
+	// pods of 4 leaves x 2 spines x 8 hosts (32 host links per pod).
+	const leaves, spines, hostsPerLeaf = 4, 2, 8
+	perPod := leaves * hostsPerLeaf
+	pods := (cfg.Budgets.MaxLinks + perPod - 1) / perPod
+	topo, err := netsim.NewFleet(pods, leaves, spines, hostsPerLeaf, 100e9)
+	if err != nil {
+		return nil, err
+	}
+	f.topo = topo
+	f.fsim = netsim.NewFleetSim(topo, cfg.Workers)
+	f.hosts = topo.Hosts()
+	for _, l := range topo.Links {
+		if l.Tier == netsim.TierHostToR {
+			f.freeTopo = append(f.freeTopo, l.ID)
+		}
+	}
+	heap.Init(&f.freeTopo)
+
+	if reg != nil {
+		f.col = telemetry.NewFleetCollector(reg, StateNames(), shedReasonNames())
+	}
+	f.publishSnapshot(false)
+	return f, nil
+}
+
+func shedReasonNames() []string {
+	return []string{string(ShedRate), string(ShedLinks), string(ShedTopology),
+		string(ShedScrape), string(ShedDraining)}
+}
+
+func (f *Fleet) logf(format string, args ...any) {
+	if len(f.log) < f.maxLog {
+		f.log = append(f.log, fmt.Sprintf(format, args...))
+	} else {
+		f.logDropped++
+	}
+}
+
+// countShed books a shed under its reason counter and logs it.
+func (f *Fleet) countShed(op string, reason ShedReason) *ShedError {
+	switch reason {
+	case ShedRate:
+		f.adm.ShedRate++
+	case ShedLinks:
+		f.adm.ShedLinks++
+	case ShedTopology:
+		f.adm.ShedTopology++
+	case ShedScrape:
+		f.adm.ShedScrape++
+	case ShedDraining:
+		f.adm.ShedDraining++
+	}
+	f.logf("epoch=%d shed op=%s reason=%s", f.epoch, op, reason)
+	return &ShedError{Reason: reason}
+}
+
+// CountScrapeShed books a scrape shed (called by the HTTP layer when
+// the scrape budget gate fires; it lives on the fleet so the counter
+// and the event log agree).
+func (f *Fleet) CountScrapeShed() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.countShed("scrape", ShedScrape)
+}
+
+// Create admits n links with the given design (nil = the config
+// default). Admission is gated per link: the MaxLinks budget, a free
+// topology slot, and one token from the bucket. It returns the IDs
+// admitted; if any were shed, the first ShedError is returned alongside
+// the partial result.
+func (f *Fleet) Create(n int, d *LinkDesign) ([]int, error) {
+	if n <= 0 {
+		return nil, errors.New("fleetd: create needs count > 0")
+	}
+	design := f.cfg.Design
+	if d != nil {
+		design = *d
+		if err := design.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var ids []int
+	var shed error
+	for i := 0; i < n; i++ {
+		if f.draining {
+			shed = f.countShed("create", ShedDraining)
+			break
+		}
+		if len(f.links) >= f.cfg.Budgets.MaxLinks {
+			shed = f.countShed("create", ShedLinks)
+			break
+		}
+		if len(f.freeTopo) == 0 {
+			shed = f.countShed("create", ShedTopology)
+			break
+		}
+		if !f.bucket.take(1) {
+			shed = f.countShed("create", ShedRate)
+			break
+		}
+		id := f.nextID
+		f.nextID++
+		topoID := heap.Pop(&f.freeTopo).(int)
+		ml := &managedLink{
+			id: id, topoID: topoID, seed: linkSeed(f.cfg.Seed, id),
+			design: design, state: StateAdmitted,
+		}
+		f.links[id] = ml
+		f.order = append(f.order, id)
+		f.adm.Admitted++
+		f.logf("epoch=%d op=create link=%d topo=%d lanes=%d", f.epoch, id, topoID, design.Lanes)
+		if f.reg != nil && (f.cfg.Budgets.DetailLinks < 0 || id < f.cfg.Budgets.DetailLinks) {
+			f.linkCols[id] = telemetry.NewFleetLinkCollector(f.reg, id)
+		}
+		ids = append(ids, id)
+	}
+	return ids, shed
+}
+
+// Degrade kills count channels on a link (deterministically: the
+// lowest-numbered alive physicals), modeling an induced fault burst.
+// Legal while the link is carrying traffic (bring-up through
+// renegotiating).
+func (f *Fleet) Degrade(id, count int) error {
+	if count <= 0 {
+		return errors.New("fleetd: degrade needs count > 0")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ml, ok := f.links[id]
+	if !ok {
+		return ErrUnknownLink
+	}
+	switch ml.state {
+	case StateBringUp, StateServing, StateDegraded, StateRenegotiating:
+	default:
+		return &TransitionError{Link: id, From: ml.state, To: StateDegraded}
+	}
+	if ml.fwd == nil {
+		return &TransitionError{Link: id, From: ml.state, To: StateDegraded}
+	}
+	killed := 0
+	for _, p := range ml.fwd.Mapper().ActivePhysicals() {
+		if killed == count {
+			break
+		}
+		if !ml.fwd.ChannelDead(p) {
+			ml.fwd.KillChannel(p)
+			killed++
+		}
+	}
+	f.logf("epoch=%d op=degrade link=%d killed=%d", f.epoch, id, killed)
+	return nil
+}
+
+// Renegotiate moves a degraded link into renegotiating; the next epoch
+// commits the degraded width as its new contract and republishes
+// capacity into the flow simulator.
+func (f *Fleet) Renegotiate(id int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ml, ok := f.links[id]
+	if !ok {
+		return ErrUnknownLink
+	}
+	if err := ml.transition(StateRenegotiating, "op"); err != nil {
+		return err
+	}
+	f.logf("epoch=%d op=renegotiate link=%d", f.epoch, id)
+	return nil
+}
+
+// Retire puts a link on the drain path; it exits through
+// draining -> retired over the following epochs.
+func (f *Fleet) Retire(id int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ml, ok := f.links[id]
+	if !ok {
+		return ErrUnknownLink
+	}
+	if err := ml.transition(StateDraining, "op"); err != nil {
+		return err
+	}
+	f.logf("epoch=%d op=retire link=%d", f.epoch, id)
+	return nil
+}
+
+// Reload validates and swaps the admission budgets and the default link
+// design without touching serving links. Seed, workers, and the built
+// topology are immutable — a changed value there is rejected.
+func (f *Fleet) Reload(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if cfg.Seed != f.cfg.Seed {
+		return errors.New("fleetd: reload cannot change seed")
+	}
+	if cfg.Workers != f.cfg.Workers {
+		return errors.New("fleetd: reload cannot change workers")
+	}
+	f.cfg.Budgets = cfg.Budgets
+	f.cfg.Design = cfg.Design
+	f.bucket.resize(cfg.Budgets.AdmitPerEpoch, cfg.Budgets.AdmitBurst)
+	f.logf("epoch=%d op=reload max_links=%d admit=%g/%g step_budget=%d",
+		f.epoch, cfg.Budgets.MaxLinks, cfg.Budgets.AdmitPerEpoch,
+		cfg.Budgets.AdmitBurst, cfg.Budgets.StepBudget)
+	return nil
+}
+
+// Step advances the fleet one epoch: refill the admission bucket, fan
+// the runnable links out across the pool, merge their event buffers and
+// capacity publications in ascending link-ID order, retire finished
+// links, drive the fleet-wide flow simulator, and refresh telemetry.
+func (f *Fleet) Step() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stepLocked()
+}
+
+func (f *Fleet) stepLocked() {
+	f.bucket.refill()
+
+	// Scheduling: lifecycle work (admission, bring-up, renegotiation,
+	// draining) always runs; serving/degraded links run MAC superframes
+	// under the step budget, rotated fairly by ascending link ID.
+	runnable := make([]*managedLink, 0, len(f.order))
+	serving := make([]*managedLink, 0, len(f.order))
+	for _, id := range f.order {
+		ml := f.links[id]
+		switch ml.state {
+		case StateAdmitted, StateBringUp, StateRenegotiating, StateDraining:
+			runnable = append(runnable, ml)
+		case StateServing, StateDegraded:
+			ml.runServe = false
+			serving = append(serving, ml)
+			runnable = append(runnable, ml)
+		}
+	}
+	budget := f.cfg.Budgets.StepBudget
+	if budget <= 0 || budget > len(serving) {
+		budget = len(serving)
+	}
+	if budget > 0 {
+		// Start at the first serving link with ID >= rotor, wrap around.
+		start := sort.Search(len(serving), func(i int) bool { return serving[i].id >= f.rotor })
+		if start == len(serving) {
+			start = 0
+		}
+		for k := 0; k < budget; k++ {
+			ml := serving[(start+k)%len(serving)]
+			ml.runServe = true
+			f.rotor = ml.id + 1
+		}
+	}
+
+	// Fan out. runnable is in ascending ID order (f.order is sorted),
+	// which is also the merge order below.
+	f.pool.run(len(runnable), func(i int) { runnable[i].step() })
+
+	// Barrier: merge event buffers, publish bridge capacity fractions
+	// into the fleet-wide flow simulator, and collect retirees — all in
+	// ascending link-ID order.
+	var retirees []*managedLink
+	for _, ml := range runnable {
+		for _, line := range ml.events {
+			f.logf("epoch=%d link=%d %s", f.epoch, ml.id, line)
+		}
+		ml.events = ml.events[:0]
+		if ml.caps.dirty {
+			f.fsim.SetLinkFraction(ml.topoID, ml.caps.frac)
+			ml.caps.dirty = false
+		}
+		if ml.state == StateRetired {
+			retirees = append(retirees, ml)
+		}
+	}
+	for _, ml := range retirees {
+		f.retireLocked(ml)
+	}
+
+	// Background traffic: seeded flow arrivals between random hosts, so
+	// capacity renegotiations act on live max-min shares.
+	for i := 0; i < f.cfg.Budgets.FlowsPerEpoch; i++ {
+		src := f.hosts[f.flowRNG.Intn(len(f.hosts))]
+		dst := f.hosts[f.flowRNG.Intn(len(f.hosts))]
+		if src == dst {
+			continue
+		}
+		size := (1 + 9*f.flowRNG.Float64()) * 1e8
+		if _, err := f.fsim.Inject(src, dst, size, f.flowRNG.Uint64()); err == nil {
+			f.flowsInjected++
+		}
+	}
+	f.fsim.Step(epochSimLen)
+
+	// Epoch summary line: the fleet-level determinism witness.
+	counts := f.stateCountsLocked()
+	f.logf("epoch=%d summary live=%d serving=%d degraded=%d draining=%d retired=%d flows=%d",
+		f.epoch, len(f.links),
+		counts[StateServing], counts[StateDegraded], counts[StateDraining],
+		f.adm.Retired, f.fsim.ActiveFlows())
+
+	f.epoch++
+	f.publishSnapshot(f.adm.Sheds() > f.lastSheds)
+	f.lastSheds = f.adm.Sheds()
+	f.syncTelemetryLocked(counts)
+}
+
+// retireLocked finalizes a retired link: record the tombstone, free the
+// topology slot (restored to full width for its next tenant), detach
+// the per-link collector, and drop the link.
+func (f *Fleet) retireLocked(ml *managedLink) {
+	f.adm.Retired++
+	f.retired[ml.id] = ml.info()
+	f.retiredIDs = append(f.retiredIDs, ml.id)
+	if len(f.retiredIDs) > 1024 {
+		delete(f.retired, f.retiredIDs[0])
+		f.retiredIDs = f.retiredIDs[1:]
+	}
+	f.fsim.SetLinkFraction(ml.topoID, 1)
+	heap.Push(&f.freeTopo, ml.topoID)
+	if col, ok := f.linkCols[ml.id]; ok {
+		col.Detach()
+		delete(f.linkCols, ml.id)
+	}
+	delete(f.links, ml.id)
+	for i, id := range f.order {
+		if id == ml.id {
+			f.order = append(f.order[:i], f.order[i+1:]...)
+			break
+		}
+	}
+}
+
+func (f *Fleet) stateCountsLocked() [NumStates]int {
+	var counts [NumStates]int
+	for _, ml := range f.links {
+		counts[ml.state]++
+	}
+	return counts
+}
+
+func (f *Fleet) publishSnapshot(overloaded bool) {
+	counts := f.stateCountsLocked()
+	states := make(map[string]int, NumStates)
+	for s, n := range counts {
+		states[State(s).String()] = n
+	}
+	f.snap.Store(&Snapshot{
+		Epoch:        f.epoch,
+		States:       states,
+		LiveLinks:    len(f.links),
+		MaxLinks:     f.cfg.Budgets.MaxLinks,
+		Draining:     f.draining,
+		Overloaded:   overloaded,
+		Admission:    f.adm,
+		Pool:         f.pool.stats(),
+		ActiveFlows:  f.fsim.ActiveFlows(),
+		ScrapeBudget: f.cfg.Budgets.ScrapePerEpoch,
+	})
+}
+
+func (f *Fleet) syncTelemetryLocked(counts [NumStates]int) {
+	if f.col == nil {
+		return
+	}
+	var stateCounts [NumStates]int64
+	for i, n := range counts {
+		stateCounts[i] = int64(n)
+	}
+	f.col.SyncStates(stateCounts[:])
+	f.col.SyncPool(f.pool.stats().Workers, f.pool.stats().Tasks, f.pool.stats().Steals,
+		f.pool.stats().Rounds, f.pool.stats().Depth)
+	f.col.SyncAdmission(f.adm.Admitted, f.adm.Retired, []uint64{
+		f.adm.ShedRate, f.adm.ShedLinks, f.adm.ShedTopology,
+		f.adm.ShedScrape, f.adm.ShedDraining,
+	})
+	f.col.SyncFleet(f.epoch, uint64(f.fsim.ActiveFlows()), f.flowsInjected, uint64(len(f.links)))
+	for id, col := range f.linkCols {
+		ml := f.links[id]
+		col.Sync(int(ml.state), ml.lanes(), ml.caps.frac, ml.queued, ml.delivered, ml.retx)
+	}
+}
+
+// Snapshot returns the latest lock-free fleet summary.
+func (f *Fleet) Snapshot() *Snapshot { return f.snap.Load() }
+
+// Epoch returns the number of completed epochs.
+func (f *Fleet) Epoch() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.epoch
+}
+
+// StateOf returns a link's lifecycle state (retired tombstones
+// included). The second result is false for unknown IDs.
+func (f *Fleet) StateOf(id int) (State, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if ml, ok := f.links[id]; ok {
+		return ml.state, true
+	}
+	if _, ok := f.retired[id]; ok {
+		return StateRetired, true
+	}
+	return 0, false
+}
+
+// Inspect returns one link's full snapshot (live or tombstoned).
+func (f *Fleet) Inspect(id int) (LinkInfo, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if ml, ok := f.links[id]; ok {
+		return ml.info(), true
+	}
+	info, ok := f.retired[id]
+	return info, ok
+}
+
+// List returns the live links' snapshots in ascending ID order, capped
+// at limit (0 = all).
+func (f *Fleet) List(limit int) []LinkInfo {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := len(f.order)
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([]LinkInfo, 0, n)
+	for _, id := range f.order[:n] {
+		out = append(out, f.links[id].info())
+	}
+	return out
+}
+
+// EventLog copies the merged fleet event log.
+func (f *Fleet) EventLog() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.log...)
+}
+
+// Admission returns the admission counters.
+func (f *Fleet) Admission() AdmissionStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.adm
+}
+
+// PoolStats returns the worker pool counters.
+func (f *Fleet) PoolStats() PoolStats { return f.pool.stats() }
+
+// ScrapeBudget returns the per-epoch scrape budget (0 = unlimited),
+// read by the HTTP shedding gate.
+func (f *Fleet) ScrapeBudget() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cfg.Budgets.ScrapePerEpoch
+}
+
+// Drain performs the graceful-shutdown sequence: stop admissions, put
+// every live link on the drain path, and step until the fleet is empty
+// or ctx expires. It returns the number of links still live (0 on a
+// clean drain).
+func (f *Fleet) Drain(ctx context.Context) int {
+	f.mu.Lock()
+	f.draining = true
+	f.logf("epoch=%d op=drain links=%d", f.epoch, len(f.links))
+	for _, id := range f.order {
+		ml := f.links[id]
+		if ml.state != StateDraining && ml.state != StateRetired {
+			_ = ml.transition(StateDraining, "fleet-drain")
+		}
+	}
+	f.mu.Unlock()
+
+	for {
+		f.mu.Lock()
+		live := len(f.links)
+		f.mu.Unlock()
+		if live == 0 {
+			return 0
+		}
+		select {
+		case <-ctx.Done():
+			return live
+		default:
+		}
+		f.Step()
+	}
+}
+
+// intHeap is a plain min-heap of free topology slots, so slot reuse is
+// deterministic (lowest ID first) regardless of retirement order.
+type intHeap []int
+
+func (h intHeap) Len() int           { return len(h) }
+func (h intHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h intHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *intHeap) Push(x any)        { *h = append(*h, x.(int)) }
+func (h *intHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

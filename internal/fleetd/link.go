@@ -1,0 +1,347 @@
+package fleetd
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mosaic/internal/faultinject"
+	"mosaic/internal/mac"
+	"mosaic/internal/phy"
+	"mosaic/internal/sim"
+)
+
+// capRecorder is the per-link mac.CapacitySink: the bridge's After(0)
+// syncs run inside the pooled step, so the fraction lands in link-owned
+// state here and the fleet republishes it into the shared FleetSim
+// sequentially at the barrier (ascending link ID — race-free and
+// worker-count invariant).
+type capRecorder struct {
+	frac  float64
+	dirty bool
+}
+
+func (c *capRecorder) SetLinkCapacityFraction(_ int, frac float64) {
+	c.frac = frac
+	c.dirty = true
+}
+
+// managedLink is one fleet member: a full-duplex PHY pair under a MAC
+// endpoint pair, a seeded fault schedule replayed by the shared
+// faultinject.Applier, and a capacity bridge — plus the lifecycle
+// bookkeeping the state machine needs. During a pooled step the link is
+// owned exclusively by its worker; between steps the fleet lock guards
+// it.
+type managedLink struct {
+	id     int
+	topoID int // fleet topology link this member occupies
+	seed   int64
+	design LinkDesign
+
+	state State
+	sf    int // superframes served (absolute, across schedule rounds)
+
+	fwd, rev *phy.Link
+	pair     *mac.Pair
+	applier  *faultinject.Applier
+	round    int // fault-schedule round (sf / Horizon)
+	eng      *sim.Engine
+	bridge   *mac.Bridge
+	caps     capRecorder
+
+	nominal  int // lane count at construction; the bridge's 1.0 reference
+	contract int // lanes the link last negotiated to serve at
+	drained  int // superframes spent draining
+	err      error
+
+	packets     [][]byte
+	handledFail map[int]bool
+
+	// events buffers this epoch's log lines; the fleet merges and clears
+	// it at the barrier.
+	events []string
+
+	// runServe marks the link as scheduled for serving ticks this epoch
+	// (set by the fleet's budgeted rotor before the fan-out).
+	runServe bool
+
+	// Counters mirrored into the API/telemetry snapshots.
+	queued, delivered, retx uint64
+}
+
+func (m *managedLink) logf(format string, args ...any) {
+	m.events = append(m.events, fmt.Sprintf(format, args...))
+}
+
+// transition applies a lifecycle edge, returning the typed error on an
+// illegal one. Every successful edge is event-logged.
+func (m *managedLink) transition(to State, detail string) error {
+	if !CanTransition(m.state, to) {
+		return &TransitionError{Link: m.id, From: m.state, To: to}
+	}
+	from := m.state
+	m.state = to
+	if detail != "" {
+		m.logf("%s->%s %s", from, to, detail)
+	} else {
+		m.logf("%s->%s", from, to)
+	}
+	return nil
+}
+
+// linkSeed derives the per-link seed from the fleet seed and the link
+// ID only — not the admission order — so concurrently admitted links
+// get identical behavior no matter which goroutine's request landed
+// first.
+func linkSeed(fleetSeed int64, id int) int64 {
+	return fleetSeed + 1_000_003*int64(id+1)
+}
+
+// construct builds the PHY/MAC/Bridge stack. Runs inside the pooled
+// step (construction dominates admission cost, so it parallelizes), and
+// depends only on (design, seed) — never on timing.
+func (m *managedLink) construct() error {
+	d := m.design
+	fec, err := phy.FECByName(d.FEC)
+	if err != nil {
+		return err
+	}
+	mk := func(off int64) (*phy.Link, error) {
+		return phy.New(phy.Config{
+			Lanes:             d.Lanes,
+			Spares:            d.Spares,
+			FEC:               fec,
+			UnitLen:           d.UnitLen,
+			PerChannelBitRate: 2e9,
+			Seed:              m.seed + off,
+			Workers:           1, // lanes run inline; the fleet pool is the parallelism
+		})
+	}
+	if m.fwd, err = mk(0); err != nil {
+		return err
+	}
+	if m.rev, err = mk(1); err != nil {
+		return err
+	}
+
+	var pc mac.PairConfig
+	pc.Endpoint.MaxPayload = d.PacketLen
+	pc.Endpoint.Window = 4 * d.PacketsPerSF
+	if pc.Endpoint.Window < mac.DefaultWindow {
+		pc.Endpoint.Window = mac.DefaultWindow
+	}
+	// One tick of fresh data plus a full retransmission round plus a
+	// pure ack — the same sizing rule mac.Session uses.
+	pc.Endpoint.PayloadBudget = (2*d.PacketsPerSF + 1) * (d.PacketLen + mac.Overhead)
+	if m.pair, err = mac.NewPair(m.fwd, m.rev, pc, nil, nil); err != nil {
+		return err
+	}
+
+	// Fixed client payloads regenerated from the seed.
+	rng := rand.New(rand.NewSource(m.seed))
+	m.packets = make([][]byte, d.PacketsPerSF)
+	for i := range m.packets {
+		m.packets[i] = make([]byte, d.PacketLen)
+		rng.Read(m.packets[i])
+	}
+
+	m.nominal = m.fwd.Mapper().NumLanes()
+	m.contract = m.nominal
+	m.caps.frac = 1
+	m.handledFail = make(map[int]bool)
+
+	// Health transitions land in the link's event buffer; the bridge
+	// chains after this hook and records capacity changes.
+	m.fwd.Monitor().SetTransitionHook(func(physical int, from, to phy.ChannelState) {
+		m.logf("sf=%d transition ch=%d %v->%v", m.sf, physical, from, to)
+	})
+	m.eng = sim.NewEngine(m.seed)
+	m.bridge = mac.NewBridge(m.fwd, &m.caps, m.topoID, m.eng)
+	m.bridge.OnRenegotiate = func(_ sim.Time, lanes int, frac float64) {
+		m.logf("sf=%d bridge lanes=%d frac=%.4f", m.sf, lanes, frac)
+	}
+	m.bridge.Install()
+
+	m.loadSchedule()
+	return nil
+}
+
+// loadSchedule (re)generates the seeded fault schedule for the current
+// horizon round and arms a fresh applier on it.
+func (m *managedLink) loadSchedule() {
+	d := m.design
+	var sched faultinject.Schedule
+	if d.Hazard > 0 {
+		rng := rand.New(rand.NewSource(m.seed + int64(m.round)*7907))
+		sched = faultinject.RandomKills(rng, d.Lanes+d.Spares, d.Hazard, d.Horizon)
+	}
+	m.applier = faultinject.NewApplier(m.fwd, sched)
+	m.applier.OnInject = func(e faultinject.Event) {
+		m.logf("sf=%d inject %v", m.sf, e)
+	}
+}
+
+// tick advances one superframe: inject faults, queue client traffic
+// (unless draining), move the pair one round trip, spare out failed
+// channels, and drain the bridge's zero-delay capacity syncs.
+func (m *managedLink) tick(draining bool) {
+	roundSF := m.sf - m.round*m.design.Horizon
+	if roundSF >= m.design.Horizon {
+		m.round++
+		m.loadSchedule()
+		roundSF = m.sf - m.round*m.design.Horizon
+	}
+	m.applier.Step(roundSF)
+
+	if !draining {
+		for _, p := range m.packets {
+			if err := m.pair.A.SendVC(0, p); err != nil {
+				m.fail(fmt.Errorf("send: %w", err))
+				return
+			}
+			m.queued++
+		}
+	}
+	if err := m.pair.Tick(); err != nil {
+		m.fail(fmt.Errorf("exchange: %w", err))
+		return
+	}
+
+	// Reactive sparing; the bridge hook has queued a capacity sync for
+	// any width change, drained below.
+	for _, p := range m.fwd.Monitor().FailedChannels() {
+		if m.handledFail[p] {
+			continue
+		}
+		m.handledFail[p] = true
+		ev := m.fwd.FailChannel(p)
+		m.logf("sf=%d remap %v", m.sf, ev)
+	}
+	m.eng.Run()
+
+	m.delivered = m.pair.B.Stats().Delivered
+	m.retx = m.pair.A.Stats().Retransmits
+	m.sf++
+}
+
+// fail records a hard error and forces the link onto the drain path
+// (an erroring link cannot serve, but it still exits through the
+// lifecycle rather than vanishing).
+func (m *managedLink) fail(err error) {
+	if m.err == nil {
+		m.err = err
+		m.logf("sf=%d error: %v", m.sf, err)
+	}
+	if m.state != StateDraining && m.state != StateRetired {
+		_ = m.transition(StateDraining, "on-error")
+	}
+}
+
+// step is the pooled per-epoch advance. It only touches link-owned
+// state; all cross-link effects (FleetSim publication, collector
+// attach/detach) happen at the fleet barrier.
+func (m *managedLink) step() {
+	switch m.state {
+	case StateAdmitted:
+		if err := m.construct(); err != nil {
+			// Only a config escape can land here (designs are validated at
+			// admission); park the link on the drain path.
+			m.fail(fmt.Errorf("construct: %w", err))
+			return
+		}
+		_ = m.transition(StateBringUp, fmt.Sprintf("lanes=%d", m.nominal))
+
+	case StateBringUp:
+		for i := 0; i < m.design.SFPerStep && m.state == StateBringUp; i++ {
+			m.tick(false)
+			if m.state == StateBringUp && m.sf >= m.design.BringUpSF {
+				_ = m.transition(StateServing,
+					fmt.Sprintf("sf=%d lanes=%d", m.sf, m.fwd.Mapper().NumLanes()))
+			}
+		}
+		m.checkDegraded()
+
+	case StateServing, StateDegraded:
+		if !m.runServe {
+			return
+		}
+		for i := 0; i < m.design.SFPerStep && (m.state == StateServing || m.state == StateDegraded); i++ {
+			m.tick(false)
+		}
+		m.checkDegraded()
+
+	case StateRenegotiating:
+		// Commit the degraded width as the new contract and republish the
+		// bridge fraction (relative to the original nominal) at the
+		// barrier.
+		lanes := m.fwd.Mapper().NumLanes()
+		m.contract = lanes
+		m.caps.frac = float64(lanes) / float64(m.nominal)
+		m.caps.dirty = true
+		_ = m.transition(StateServing,
+			fmt.Sprintf("sf=%d lanes=%d frac=%.4f", m.sf, lanes, m.caps.frac))
+
+	case StateDraining:
+		if m.pair == nil {
+			_ = m.transition(StateRetired, "sf=0")
+			return
+		}
+		for i := 0; i < m.design.SFPerStep && m.state == StateDraining; i++ {
+			m.tick(true)
+			m.drained++
+			if m.pair.A.Stats().InFlight == 0 || m.drained >= m.design.DrainSF {
+				_ = m.transition(StateRetired, fmt.Sprintf(
+					"sf=%d delivered=%d/%d retx=%d", m.sf, m.delivered, m.queued, m.retx))
+			}
+		}
+	}
+}
+
+// checkDegraded flips serving->degraded when sparing has run dry and
+// the usable width fell below the negotiated contract.
+func (m *managedLink) checkDegraded() {
+	if m.state != StateServing || m.fwd == nil {
+		return
+	}
+	lanes := m.fwd.Mapper().NumLanes()
+	if lanes < m.contract {
+		_ = m.transition(StateDegraded, fmt.Sprintf(
+			"sf=%d lanes=%d/%d spares=%d", m.sf, lanes, m.contract, m.fwd.Mapper().SparesLeft()))
+	}
+}
+
+// lanes returns the current usable width (0 before construction).
+func (m *managedLink) lanes() int {
+	if m.fwd == nil {
+		return 0
+	}
+	return m.fwd.Mapper().NumLanes()
+}
+
+// LinkInfo is the API/inspection snapshot of one managed link.
+type LinkInfo struct {
+	ID        int     `json:"id"`
+	State     string  `json:"state"`
+	TopoLink  int     `json:"topo_link"`
+	Seed      int64   `json:"seed"`
+	SF        int     `json:"sf"`
+	Lanes     int     `json:"lanes"`
+	Contract  int     `json:"contract_lanes"`
+	Nominal   int     `json:"nominal_lanes"`
+	Fraction  float64 `json:"fraction"`
+	Queued    uint64  `json:"queued"`
+	Delivered uint64  `json:"delivered"`
+	Retx      uint64  `json:"retransmits"`
+	Err       string  `json:"err,omitempty"`
+}
+
+func (m *managedLink) info() LinkInfo {
+	info := LinkInfo{
+		ID: m.id, State: m.state.String(), TopoLink: m.topoID, Seed: m.seed,
+		SF: m.sf, Lanes: m.lanes(), Contract: m.contract, Nominal: m.nominal,
+		Fraction: m.caps.frac, Queued: m.queued, Delivered: m.delivered, Retx: m.retx,
+	}
+	if m.err != nil {
+		info.Err = m.err.Error()
+	}
+	return info
+}

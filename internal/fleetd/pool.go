@@ -1,0 +1,131 @@
+package fleetd
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// pool is the fleet's shared work-stealing worker pool. Every epoch the
+// runnable links are dealt into per-worker run queues (contiguous index
+// ranges); each worker drains its own queue front to back and, when it
+// runs dry, steals single tasks from the other queues in scan order.
+// Because a task only ever writes into its own link's buffers, the
+// execution order — and therefore the steal pattern — cannot affect the
+// merged event log; it only affects wall-clock balance, which is exactly
+// what the steal counters measure.
+type pool struct {
+	workers int
+
+	// Telemetry counters (read via PoolStats): lifetime tasks executed,
+	// tasks obtained by stealing from another worker's queue, and barrier
+	// rounds run.
+	tasks  atomic.Uint64
+	steals atomic.Uint64
+	rounds atomic.Uint64
+
+	// depth is the number of tasks in the current (or last) round — the
+	// queue depth the gauges report.
+	depth atomic.Int64
+
+	queues []poolQueue
+}
+
+// poolQueue is one worker's share of a round: the half-open index range
+// [lo, hi) with an atomic cursor. The owner and thieves pop through the
+// same cursor, so a task runs exactly once.
+type poolQueue struct {
+	next atomic.Int64
+	hi   int64
+	_    [40]byte // keep cursors off each other's cache line
+}
+
+func newPool(workers int) *pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &pool{workers: workers, queues: make([]poolQueue, workers)}
+}
+
+// PoolStats is the pool's telemetry snapshot.
+type PoolStats struct {
+	Workers int    `json:"workers"`
+	Tasks   uint64 `json:"tasks"`
+	Steals  uint64 `json:"steals"`
+	Rounds  uint64 `json:"rounds"`
+	Depth   int64  `json:"depth"`
+}
+
+func (p *pool) stats() PoolStats {
+	return PoolStats{
+		Workers: p.workers,
+		Tasks:   p.tasks.Load(),
+		Steals:  p.steals.Load(),
+		Rounds:  p.rounds.Load(),
+		Depth:   p.depth.Load(),
+	}
+}
+
+// run executes fn(i) for every i in [0, n), fanning out across the
+// workers and returning when all n tasks are done (a barrier). fn must
+// confine its writes to state owned by task i.
+func (p *pool) run(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	p.rounds.Add(1)
+	p.depth.Store(int64(n))
+	if p.workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		p.tasks.Add(uint64(n))
+		p.depth.Store(0)
+		return
+	}
+
+	// Deal [0,n) into contiguous per-worker ranges.
+	per := n / p.workers
+	extra := n % p.workers
+	lo := 0
+	for w := 0; w < p.workers; w++ {
+		size := per
+		if w < extra {
+			size++
+		}
+		p.queues[w].next.Store(int64(lo))
+		p.queues[w].hi = int64(lo + size)
+		lo += size
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(p.workers)
+	for w := 0; w < p.workers; w++ {
+		go func(self int) {
+			defer wg.Done()
+			var ran, stole uint64
+			// Own queue first, then steal from the others in scan order.
+			for q := 0; q < p.workers; q++ {
+				victim := (self + q) % p.workers
+				vq := &p.queues[victim]
+				for {
+					i := vq.next.Add(1) - 1
+					if i >= vq.hi {
+						break
+					}
+					fn(int(i))
+					ran++
+					if victim != self {
+						stole++
+					}
+				}
+			}
+			p.tasks.Add(ran)
+			if stole > 0 {
+				p.steals.Add(stole)
+			}
+		}(w)
+	}
+	wg.Wait()
+	p.depth.Store(0)
+}

@@ -1,0 +1,66 @@
+package fleetd
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// Every task must run exactly once, whatever the worker count or the
+// steal pattern.
+func TestPoolRunsEveryTaskOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, runtime.GOMAXPROCS(0)} {
+		for _, n := range []int{0, 1, 5, 64, 1000} {
+			p := newPool(workers)
+			hits := make([]atomic.Int32, n)
+			p.run(n, func(i int) { hits[i].Add(1) })
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: task %d ran %d times", workers, n, i, got)
+				}
+			}
+			if n > 0 {
+				st := p.stats()
+				if st.Tasks != uint64(n) || st.Rounds != 1 || st.Depth != 0 {
+					t.Fatalf("workers=%d n=%d: stats %+v", workers, n, st)
+				}
+			}
+		}
+	}
+}
+
+// Skewed task costs force stealing: a pool where one range is much
+// heavier than the rest must still finish everything, and the steal
+// counter must see it (with more workers than its own queue's tasks,
+// someone must steal).
+func TestPoolStealsUnderSkew(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		// Steals need real parallelism to be guaranteed; with one core the
+		// first worker can drain every queue before the others wake.
+		t.Skip("needs GOMAXPROCS >= 2 for guaranteed steals")
+	}
+	p := newPool(4)
+	var total atomic.Int64
+	p.run(64, func(i int) {
+		// The first range's tasks spin; the rest are instant, so those
+		// workers run dry and steal.
+		if i < 16 {
+			for j := 0; j < 1<<16; j++ {
+				total.Add(1)
+			}
+		}
+		total.Add(1)
+	})
+	if p.stats().Steals == 0 {
+		t.Error("skewed round recorded no steals")
+	}
+}
+
+func TestPoolDefaultsToGOMAXPROCS(t *testing.T) {
+	if got := newPool(0).workers; got != runtime.GOMAXPROCS(0) {
+		t.Errorf("newPool(0).workers = %d, want GOMAXPROCS=%d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := newPool(3).workers; got != 3 {
+		t.Errorf("newPool(3).workers = %d", got)
+	}
+}

@@ -1,0 +1,112 @@
+package fleetd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Op is one recorded fleet operation — the replayable form of an API
+// request. A script of ops applied at fixed epochs, plus the fleet
+// seed, fully determines the event log (the golden-sha determinism
+// test replays one at different worker counts).
+type Op struct {
+	Epoch  int    `json:"epoch"`
+	Action string `json:"action"` // create|degrade|renegotiate|retire|reload-budgets
+
+	Count  int         `json:"count,omitempty"`  // create: links to admit (default 1)
+	Design *LinkDesign `json:"design,omitempty"` // create: design override
+	Link   int         `json:"link,omitempty"`   // degrade/renegotiate/retire target
+	Kill   int         `json:"kill,omitempty"`   // degrade: channels to kill (default 1)
+
+	Budgets *Budgets `json:"budgets,omitempty"` // reload-budgets: new budgets
+}
+
+// Script is a recorded operation sequence, ordered by epoch (ties keep
+// slice order).
+type Script []Op
+
+// DecodeScript reads a JSON script (an array of ops).
+func DecodeScript(r io.Reader) (Script, error) {
+	var s Script
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("fleetd: script: %w", err)
+	}
+	return s, nil
+}
+
+// Apply executes one op against the fleet. Shed admissions and
+// lifecycle conflicts are not errors at the script level — they are
+// recorded in the event log exactly as the API would record them — so
+// only a malformed op fails the replay.
+func (f *Fleet) Apply(op Op) error {
+	switch op.Action {
+	case "create":
+		n := op.Count
+		if n <= 0 {
+			n = 1
+		}
+		if _, err := f.Create(n, op.Design); err != nil {
+			var shed *ShedError
+			if !errors.As(err, &shed) {
+				return err
+			}
+		}
+	case "degrade":
+		k := op.Kill
+		if k <= 0 {
+			k = 1
+		}
+		if err := f.Degrade(op.Link, k); err != nil && !isLifecycleErr(err) {
+			return err
+		}
+	case "renegotiate":
+		if err := f.Renegotiate(op.Link); err != nil && !isLifecycleErr(err) {
+			return err
+		}
+	case "retire":
+		if err := f.Retire(op.Link); err != nil && !isLifecycleErr(err) {
+			return err
+		}
+	case "reload-budgets":
+		if op.Budgets == nil {
+			return fmt.Errorf("fleetd: reload-budgets op needs budgets")
+		}
+		f.mu.Lock()
+		cfg := f.cfg
+		f.mu.Unlock()
+		cfg.Budgets = *op.Budgets
+		if err := f.Reload(cfg); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("fleetd: unknown script action %q", op.Action)
+	}
+	return nil
+}
+
+// Run replays a script over the given number of epochs: at each epoch
+// boundary the due ops apply in order, then the fleet steps once.
+func (f *Fleet) Run(script Script, epochs int) error {
+	next := 0
+	for e := 0; e < epochs; e++ {
+		for next < len(script) && script[next].Epoch <= e {
+			if err := f.Apply(script[next]); err != nil {
+				return fmt.Errorf("op %d (epoch %d): %w", next, e, err)
+			}
+			next++
+		}
+		f.Step()
+	}
+	return nil
+}
+
+// isLifecycleErr reports whether the error is an expected runtime
+// refusal (illegal edge or unknown link) rather than a malformed op.
+func isLifecycleErr(err error) bool {
+	var te *TransitionError
+	return errors.Is(err, ErrUnknownLink) || errors.As(err, &te)
+}

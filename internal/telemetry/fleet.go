@@ -1,0 +1,170 @@
+package telemetry
+
+import "strconv"
+
+// Fleet-service collectors: FleetCollector carries the fleet-wide view
+// (per-lifecycle-state gauges, admission and shed counters, worker-pool
+// depth/steal counters, epoch and flow gauges) and FleetLinkCollector
+// carries one managed link's labeled gauges, attached at admission and
+// detached — unregistered from exposition — at retirement.
+//
+// Both follow the repo's collector discipline: push-based (the fleet's
+// epoch barrier calls Sync; scrapes read only atomics), with counter
+// handles delta-synced from attach-time baselines so re-attachment never
+// replays history.
+
+// FleetCollector registers the fleet-wide metric set.
+type FleetCollector struct {
+	states []*Gauge
+
+	admitted, retired *Counter
+	sheds             []*Counter
+
+	epoch, links, flows *Gauge
+	flowsInjected       *Counter
+
+	poolWorkers, poolDepth            *Gauge
+	poolTasks, poolSteals, poolRounds *Counter
+
+	// Attach-time baselines for delta-syncing cumulative inputs.
+	prevAdmitted, prevRetired         uint64
+	prevSheds                         []uint64
+	prevTasks, prevSteals, prevRounds uint64
+	prevInjected                      uint64
+}
+
+// NewFleetCollector registers the fleet metric families in r: one
+// mosaic_fleetd_links{state=...} gauge per lifecycle state name and one
+// mosaic_fleetd_shed_total{reason=...} counter per shed reason.
+func NewFleetCollector(r *Registry, states, shedReasons []string) *FleetCollector {
+	r.Help("mosaic_fleetd_links", "managed links per lifecycle state")
+	r.Help("mosaic_fleetd_admitted_total", "links admitted into the fleet")
+	r.Help("mosaic_fleetd_retired_total", "links retired out of the fleet")
+	r.Help("mosaic_fleetd_shed_total", "operations shed by the admission gate, by reason")
+	r.Help("mosaic_fleetd_epoch", "completed fleet epochs")
+	r.Help("mosaic_fleetd_links_live", "live (non-retired) managed links")
+	r.Help("mosaic_fleetd_flows_active", "in-flight flows in the fleet-wide flow simulator")
+	r.Help("mosaic_fleetd_flows_injected_total", "background flows injected into the flow simulator")
+	r.Help("mosaic_fleetd_pool_workers", "work-stealing pool workers")
+	r.Help("mosaic_fleetd_pool_depth", "tasks in the current pool round")
+	r.Help("mosaic_fleetd_pool_tasks_total", "pool tasks executed")
+	r.Help("mosaic_fleetd_pool_steals_total", "pool tasks obtained by stealing")
+	r.Help("mosaic_fleetd_pool_rounds_total", "pool barrier rounds run")
+
+	c := &FleetCollector{
+		admitted:      r.Counter("mosaic_fleetd_admitted_total"),
+		retired:       r.Counter("mosaic_fleetd_retired_total"),
+		epoch:         r.Gauge("mosaic_fleetd_epoch"),
+		links:         r.Gauge("mosaic_fleetd_links_live"),
+		flows:         r.Gauge("mosaic_fleetd_flows_active"),
+		flowsInjected: r.Counter("mosaic_fleetd_flows_injected_total"),
+		poolWorkers:   r.Gauge("mosaic_fleetd_pool_workers"),
+		poolDepth:     r.Gauge("mosaic_fleetd_pool_depth"),
+		poolTasks:     r.Counter("mosaic_fleetd_pool_tasks_total"),
+		poolSteals:    r.Counter("mosaic_fleetd_pool_steals_total"),
+		poolRounds:    r.Counter("mosaic_fleetd_pool_rounds_total"),
+		prevSheds:     make([]uint64, len(shedReasons)),
+	}
+	for _, s := range states {
+		c.states = append(c.states, r.Gauge("mosaic_fleetd_links", "state", s))
+	}
+	for _, reason := range shedReasons {
+		c.sheds = append(c.sheds, r.Counter("mosaic_fleetd_shed_total", "reason", reason))
+	}
+	return c
+}
+
+// SyncStates publishes the per-state link counts (aligned with the
+// states slice passed at construction).
+func (c *FleetCollector) SyncStates(counts []int64) {
+	for i, g := range c.states {
+		if i < len(counts) {
+			g.SetInt(counts[i])
+		}
+	}
+}
+
+// SyncPool publishes the worker-pool counters.
+func (c *FleetCollector) SyncPool(workers int, tasks, steals, rounds uint64, depth int64) {
+	c.poolWorkers.SetInt(int64(workers))
+	c.poolDepth.SetInt(depth)
+	syncDelta(c.poolTasks, &c.prevTasks, tasks)
+	syncDelta(c.poolSteals, &c.prevSteals, steals)
+	syncDelta(c.poolRounds, &c.prevRounds, rounds)
+}
+
+// SyncAdmission publishes admission outcomes; sheds aligns with the
+// shedReasons slice passed at construction.
+func (c *FleetCollector) SyncAdmission(admitted, retired uint64, sheds []uint64) {
+	syncDelta(c.admitted, &c.prevAdmitted, admitted)
+	syncDelta(c.retired, &c.prevRetired, retired)
+	for i, ctr := range c.sheds {
+		if i < len(sheds) {
+			syncDelta(ctr, &c.prevSheds[i], sheds[i])
+		}
+	}
+}
+
+// SyncFleet publishes the epoch/flow gauges.
+func (c *FleetCollector) SyncFleet(epoch, activeFlows, flowsInjected, liveLinks uint64) {
+	c.epoch.SetInt(int64(epoch))
+	c.flows.SetInt(int64(activeFlows))
+	c.links.SetInt(int64(liveLinks))
+	syncDelta(c.flowsInjected, &c.prevInjected, flowsInjected)
+}
+
+// syncDelta advances a counter to a cumulative external value measured
+// against its attach-time baseline.
+func syncDelta(c *Counter, prev *uint64, now uint64) {
+	if now > *prev {
+		c.Add(now - *prev)
+		*prev = now
+	}
+}
+
+// fleetLinkMetricNames lists the per-link gauge families, shared by
+// registration and Detach.
+var fleetLinkMetricNames = []string{
+	"mosaic_fleetd_link_state",
+	"mosaic_fleetd_link_lanes",
+	"mosaic_fleetd_link_fraction",
+	"mosaic_fleetd_link_queued",
+	"mosaic_fleetd_link_delivered",
+	"mosaic_fleetd_link_retransmits",
+}
+
+// FleetLinkCollector is one managed link's labeled gauge set
+// (label link="<id>"). Attach at admission, Sync at epoch barriers,
+// Detach at retirement.
+type FleetLinkCollector struct {
+	reg    *Registry
+	label  string
+	gauges [6]*Gauge // aligned with fleetLinkMetricNames
+}
+
+// NewFleetLinkCollector registers the per-link gauges for link id.
+func NewFleetLinkCollector(r *Registry, id int) *FleetLinkCollector {
+	c := &FleetLinkCollector{reg: r, label: strconv.Itoa(id)}
+	for i, name := range fleetLinkMetricNames {
+		c.gauges[i] = r.Gauge(name, "link", c.label)
+	}
+	return c
+}
+
+// Sync publishes the link's current lifecycle state (as its numeric
+// State value), width, capacity fraction, and traffic counters.
+func (c *FleetLinkCollector) Sync(state, lanes int, frac float64, queued, delivered, retx uint64) {
+	c.gauges[0].SetInt(int64(state))
+	c.gauges[1].SetInt(int64(lanes))
+	c.gauges[2].Set(frac)
+	c.gauges[3].SetInt(int64(queued))
+	c.gauges[4].SetInt(int64(delivered))
+	c.gauges[5].SetInt(int64(retx))
+}
+
+// Detach unregisters every per-link gauge from exposition.
+func (c *FleetLinkCollector) Detach() {
+	for _, name := range fleetLinkMetricNames {
+		c.reg.Unregister(name, "link", c.label)
+	}
+}

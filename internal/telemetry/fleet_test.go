@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func expo(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestUnregister(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jobs_total", "queue", "a").Add(3)
+	r.Counter("jobs_total", "queue", "b").Add(5)
+	g := r.Gauge("depth")
+	g.SetInt(9)
+	r.Histogram("latency", []float64{1, 2})
+
+	if !r.Unregister("jobs_total", "queue", "a") {
+		t.Fatal("Unregister known counter = false")
+	}
+	out := expo(t, r)
+	if strings.Contains(out, `queue="a"`) {
+		t.Error("unregistered series still exposed")
+	}
+	if !strings.Contains(out, `jobs_total{queue="b"} 5`) {
+		t.Error("sibling series vanished with it")
+	}
+
+	// Label order must not matter — identity is the sorted label set.
+	r.Counter("multi", "x", "1", "y", "2")
+	if !r.Unregister("multi", "y", "2", "x", "1") {
+		t.Error("Unregister with reordered labels = false")
+	}
+
+	if !r.Unregister("depth") || !r.Unregister("latency") {
+		t.Error("Unregister gauge/histogram = false")
+	}
+	if r.Unregister("depth") {
+		t.Error("second Unregister = true")
+	}
+	if r.Unregister("never_registered") {
+		t.Error("Unregister of unknown metric = true")
+	}
+
+	// The detached handle keeps working, invisibly.
+	g.SetInt(11)
+	if g.Value() != 11 {
+		t.Error("detached handle stopped working")
+	}
+	if strings.Contains(expo(t, r), "depth") {
+		t.Error("detached gauge reappeared")
+	}
+
+	// The family kind survives detachment: re-registering under another
+	// type must still panic.
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a detached family as another kind did not panic")
+		}
+	}()
+	r.Gauge("jobs_total")
+}
+
+func TestFleetCollectorSync(t *testing.T) {
+	r := NewRegistry()
+	states := []string{"serving", "draining"}
+	reasons := []string{"rate", "links"}
+	c := NewFleetCollector(r, states, reasons)
+
+	c.SyncStates([]int64{10, 2})
+	c.SyncAdmission(12, 3, []uint64{4, 1})
+	c.SyncPool(8, 100, 7, 5, 3)
+	c.SyncFleet(42, 9, 17, 12)
+
+	out := expo(t, r)
+	for _, want := range []string{
+		`mosaic_fleetd_links{state="serving"} 10`,
+		`mosaic_fleetd_links{state="draining"} 2`,
+		"mosaic_fleetd_admitted_total 12",
+		"mosaic_fleetd_retired_total 3",
+		`mosaic_fleetd_shed_total{reason="rate"} 4`,
+		`mosaic_fleetd_shed_total{reason="links"} 1`,
+		"mosaic_fleetd_pool_workers 8",
+		"mosaic_fleetd_pool_tasks_total 100",
+		"mosaic_fleetd_pool_steals_total 7",
+		"mosaic_fleetd_pool_rounds_total 5",
+		"mosaic_fleetd_pool_depth 3",
+		"mosaic_fleetd_epoch 42",
+		"mosaic_fleetd_flows_active 9",
+		"mosaic_fleetd_flows_injected_total 17",
+		"mosaic_fleetd_links_live 12",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// Delta-sync: re-syncing the same cumulative values adds nothing,
+	// larger values add the difference.
+	c.SyncAdmission(12, 3, []uint64{4, 1})
+	c.SyncAdmission(15, 3, []uint64{6, 1})
+	out = expo(t, r)
+	if !strings.Contains(out, "mosaic_fleetd_admitted_total 15") {
+		t.Error("admitted delta-sync wrong")
+	}
+	if !strings.Contains(out, `mosaic_fleetd_shed_total{reason="rate"} 6`) {
+		t.Error("shed delta-sync wrong")
+	}
+}
+
+func TestFleetLinkCollectorDetach(t *testing.T) {
+	r := NewRegistry()
+	c := NewFleetLinkCollector(r, 17)
+	c.Sync(2, 8, 0.75, 100, 90, 3)
+
+	out := expo(t, r)
+	for _, want := range []string{
+		`mosaic_fleetd_link_state{link="17"} 2`,
+		`mosaic_fleetd_link_lanes{link="17"} 8`,
+		`mosaic_fleetd_link_fraction{link="17"} 0.75`,
+		`mosaic_fleetd_link_queued{link="17"} 100`,
+		`mosaic_fleetd_link_delivered{link="17"} 90`,
+		`mosaic_fleetd_link_retransmits{link="17"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// A second link's gauges survive the first one's Detach.
+	other := NewFleetLinkCollector(r, 18)
+	other.Sync(1, 10, 1, 0, 0, 0)
+	c.Detach()
+	out = expo(t, r)
+	if strings.Contains(out, `link="17"`) {
+		t.Error("detached link still exposed")
+	}
+	if !strings.Contains(out, `mosaic_fleetd_link_lanes{link="18"} 10`) {
+		t.Error("surviving link lost its gauges")
+	}
+}

@@ -253,6 +253,32 @@ func (r *Registry) Histogram(name string, buckets []float64, labels ...string) *
 	return h
 }
 
+// Unregister removes the metric with the given identity from the
+// registry, so it stops appearing in exposition. Handles already held
+// keep working but write into detached storage. Returns false when no
+// metric with that identity exists. The family's kind registration is
+// kept, so a later re-registration under the same name must keep the
+// same type. Used by fleet-scale callers that attach per-entity labeled
+// metrics at admission and detach them at retirement.
+func (r *Registry) Unregister(name string, labels ...string) bool {
+	id := metricID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.counters[id]; ok {
+		delete(r.counters, id)
+		return true
+	}
+	if _, ok := r.gauges[id]; ok {
+		delete(r.gauges, id)
+		return true
+	}
+	if _, ok := r.hists[id]; ok {
+		delete(r.hists, id)
+		return true
+	}
+	return false
+}
+
 func dedupeSorted(s []float64) []float64 {
 	out := s[:0]
 	for i, v := range s {
