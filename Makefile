@@ -3,16 +3,17 @@
 # the race detector (the PHY's per-lane stage runs on a shared worker
 # pool), and a doubled determinism run to catch any seed-dependent
 # flakiness. CI (.github/workflows/ci.yml) runs `make check` plus the
-# fuzz-smoke, bench-check, and coverage stages below.
+# fuzz-smoke, bench-check, scenario-conformance, and coverage stages
+# below.
 
 GO ?= go
 FUZZTIME ?= 20s
 # pkg:target pairs — go test runs one fuzz target at a time, per package.
 FUZZ_TARGETS = internal/phy:FuzzFramerDecodeStream internal/phy:FuzzHammingFECDecode \
 	internal/phy:FuzzRSLiteDecode internal/phy:FuzzParseFramesNeverPanics \
-	internal/mac:FuzzMACDeframe
+	internal/mac:FuzzMACDeframe internal/scenario:FuzzScenarioSpec
 
-.PHONY: check vet build test race determinism staticcheck bench bench-mac bench-e24 bench-check coverage fuzz-smoke verify-deep soak-fleetd
+.PHONY: check vet build test race determinism staticcheck bench bench-mac bench-e24 bench-check coverage fuzz-smoke verify-deep soak-fleetd scenario-conformance
 
 check: vet staticcheck build test race determinism
 
@@ -41,14 +42,18 @@ race:
 # The doubled PHY determinism run plus the sharded flow engine's
 # worker-invariance goldens: the E24 fleet table (and its epoch
 # event-log sha) at 1 worker vs GOMAXPROCS, the netsim fleet
-# scenario at 1/3/GOMAXPROCS workers, and the fleetd service's
+# scenario at 1/3/GOMAXPROCS workers, the fleetd service's
 # scripted-scenario event-log sha (1/3/GOMAXPROCS pool workers, plus
-# the 50-iteration concurrent-admission invariance run).
+# the 50-iteration concurrent-admission invariance run), and the
+# scenario-library goldens: every registered scenario experiment
+# (E26/E27) renders a byte-identical table at 1 worker vs GOMAXPROCS,
+# and 50 shuffles of a spec's component arrays keep the event-log sha.
 determinism:
 	$(GO) test -run TestDeterminism -count=2 ./internal/phy/
 	$(GO) test -run 'TestFleetSimWorkerInvariance' -count=1 ./internal/netsim/
-	$(GO) test -run 'TestE24DeterministicAcrossWorkers' -count=1 ./internal/experiments/
+	$(GO) test -run 'TestE24DeterministicAcrossWorkers|TestScenarioTablesDeterministicAcrossWorkers' -count=1 ./internal/experiments/
 	$(GO) test -run 'TestFleetdDeterministicAcrossWorkers|TestConcurrentAdmissionDeterministic' -count=1 ./internal/fleetd/
+	$(GO) test -run 'TestCompositionOrderInvariant50Iterations' -count=1 ./internal/scenario/
 
 # Not part of check: the time-and-allocation benchmarks. E10 exercises
 # the whole pipeline (7 reach points, construction + exchange); the
@@ -91,12 +96,13 @@ bench-check:
 	$(MAKE) --no-print-directory bench | tee BENCH_RAW.txt | $(GO) run ./cmd/benchguard \
 		-baseline ci/bench_baseline.json -out BENCH_E10.json
 
-# Coverage gate for the packages the vectorized kernels live in: the PHY
-# and the coding stack must stay at or above $(COVER_MIN)% statement
-# coverage combined. COVER.out is uploaded as a CI artifact.
+# Coverage gate for the packages the vectorized kernels and the fault
+# machinery live in: the PHY, the coding stack, and faultinject must
+# stay at or above $(COVER_MIN)% statement coverage combined. COVER.out
+# is uploaded as a CI artifact.
 COVER_MIN ?= 85
 coverage:
-	$(GO) test -coverprofile=COVER.out -covermode=atomic ./internal/phy/... ./internal/coding/...
+	$(GO) test -coverprofile=COVER.out -covermode=atomic ./internal/phy/... ./internal/coding/... ./internal/faultinject/...
 	@total=$$($(GO) tool cover -func=COVER.out | awk '/^total:/ { gsub(/%/, "", $$3); print $$3 }'); \
 	awk -v t=$$total -v min=$(COVER_MIN) 'BEGIN { \
 		if (t + 0 < min + 0) { printf "coverage: FAIL — %.1f%% below minimum %d%%\n", t, min; exit 1 } \
@@ -130,6 +136,17 @@ soak-fleetd:
 	MOSAIC_FLEETD_SOAK=1 MOSAIC_FLEETD_SOAK_SECONDS=$(SOAK_SECONDS) \
 		FLEETD_METRICS_OUT=$(CURDIR)/FLEETD_METRICS.prom \
 		$(GO) test -race -run 'TestFleetSoak$$' -v -timeout 20m ./internal/fleetd/
+
+# The scenario conformance harness under the race detector: for every
+# registered scenario, byte-identical event logs at 1/3/GOMAXPROCS
+# workers, netsim flow conservation and max-min bottleneck saturation
+# on every epoch, and injected fault counts inside the closed-form
+# 6-sigma envelope. The rendered per-scenario experiment tables land in
+# SCENARIO_TABLES.txt for the CI artifact upload.
+scenario-conformance:
+	$(GO) test -race -run 'TestLibraryConformance' -v -count=1 ./internal/scenario/
+	$(GO) run ./cmd/mosaicbench -exp E26,E27 > SCENARIO_TABLES.txt
+	@echo "scenario-conformance: tables written to SCENARIO_TABLES.txt"
 
 # CI fuzz smoke: each pkg:target pair gets a short budget (go test runs
 # one fuzz target at a time, so this is a loop, not a single invocation).

@@ -7,6 +7,7 @@
 //	linksoak                                  # default scenario, 100+4 channels
 //	linksoak -superframes 500 -hazard 0.001   # random channel deaths
 //	linksoak -schedule faults.json            # replay a scripted schedule
+//	linksoak -scenario E26                    # replay a library scenario's witness faults
 //	linksoak -dump faults.json -hazard 0.002  # write the generated schedule
 //	linksoak -trials 200 -spares 2            # survival study vs closed form
 //	linksoak -json                            # machine-readable event log
@@ -43,6 +44,7 @@ import (
 	"mosaic/internal/faultinject"
 	"mosaic/internal/mac"
 	"mosaic/internal/phy"
+	"mosaic/internal/scenario"
 	"mosaic/internal/sim"
 	"mosaic/internal/telemetry"
 )
@@ -61,7 +63,8 @@ func main() {
 		maintEvery  = flag.Int("maintain-every", 10, "superframes between proactive maintenance passes (0 = never)")
 		keepSpares  = flag.Int("keep-spares", 1, "spares held back for hard failures")
 		spareAbove  = flag.Float64("spare-above", 1e-6, "proactive remap threshold (estimated BER)")
-		schedPath   = flag.String("schedule", "", "JSON fault schedule to replay (default: -hazard random kills, else the default scenario)")
+		schedPath   = flag.String("schedule", "", "JSON fault schedule to replay (default: -scenario witness, -hazard random kills, else the default scenario)")
+		scenName    = flag.String("scenario", "", "registered scenario whose witness fault schedule to replay (experiment ID like E26 or spec name; see mosaicbench -list)")
 		dumpPath    = flag.String("dump", "", "write the schedule that was run to this file")
 		hazard      = flag.Float64("hazard", 0, "per-superframe channel death probability for a random-kill schedule")
 		trials      = flag.Int("trials", 0, "run a survival study of N trials instead of one soak")
@@ -97,7 +100,7 @@ func main() {
 		fatal(err)
 	}
 
-	sched, err := buildSchedule(*schedPath, *hazard, *lanes+*spares, *superframes, *seed)
+	sched, err := buildSchedule(*schedPath, *scenName, *hazard, *lanes+*spares, *superframes, *seed)
 	if err != nil {
 		fatal(err)
 	}
@@ -266,11 +269,19 @@ func runMACSoak(fwd *phy.Link, cfg phy.Config, sched faultinject.Schedule,
 	}
 }
 
-// buildSchedule picks the fault script: an explicit file, seeded random
-// kills when -hazard is set, or the default showcase scenario.
-func buildSchedule(path string, hazard float64, channels, superframes int, seed int64) (faultinject.Schedule, error) {
+// buildSchedule picks the fault script: an explicit file, a library
+// scenario's witness schedule, seeded random kills when -hazard is set,
+// or the default showcase scenario.
+func buildSchedule(path, scenName string, hazard float64, channels, superframes int, seed int64) (faultinject.Schedule, error) {
 	if path != "" {
 		return faultinject.LoadFile(path)
+	}
+	if scenName != "" {
+		entry, ok := scenario.Lookup(scenName)
+		if !ok {
+			return faultinject.Schedule{}, fmt.Errorf("unknown scenario %q (see mosaicbench -list)", scenName)
+		}
+		return scenario.Witness(entry.Spec, channels, superframes, seed)
 	}
 	if hazard > 0 {
 		s := faultinject.RandomKills(rand.New(rand.NewSource(seed)), channels, hazard, superframes)

@@ -1,13 +1,16 @@
 // Command mosaicbench regenerates the paper's evaluation: every
 // reconstructed table and figure (E1-E25, including the E24 fleet-scale
-// sharded-flow-engine run and the E25 ARQ/QoS comparison) plus the
-// design-choice ablations (A1-A5), driven by the experiment registry. Run with no arguments for
-// the full suite, or select experiments:
+// sharded-flow-engine run and the E25 ARQ/QoS comparison), the scenario
+// library (E26-..., workload × environment compositions from
+// internal/scenario) and the design-choice ablations (A1-A5), driven by
+// the experiment registry. Run with no arguments for the full suite, or
+// select experiments:
 //
 //	mosaicbench                 # everything
 //	mosaicbench -exp E4         # one experiment
 //	mosaicbench -exp E1,E2,E7   # a subset
-//	mosaicbench -list           # list experiments (metadata only, runs nothing)
+//	mosaicbench -exp E26,E27    # the scenario-library experiments
+//	mosaicbench -list           # list experiments grouped by kind (runs nothing)
 //	mosaicbench -seed 7         # change the simulation seed
 //	mosaicbench -par 4          # generate experiments concurrently
 //	mosaicbench -soak           # fault-injection soak with a live event log
@@ -99,8 +102,13 @@ func main() {
 
 	if *listFlag {
 		// Pure metadata: listing never runs a generator and cannot fail.
-		for _, e := range experiments.Registry() {
-			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		// Grouped by kind so the scenario library reads separately from
+		// the paper reproductions and the ablations.
+		for _, kind := range experiments.Kinds() {
+			fmt.Printf("%s:\n", kind)
+			for _, e := range experiments.ByKind(kind) {
+				fmt.Printf("  %-4s %s\n", e.ID, e.Title)
+			}
 		}
 		return
 	}

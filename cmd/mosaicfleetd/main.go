@@ -30,7 +30,9 @@
 //
 //	mosaicfleetd -links 2000 -seed 7        # bring up 2000 links on :9091
 //	mosaicfleetd -config fleet.json         # budgets/design from JSON
+//	mosaicfleetd -scenario E26              # default links replay E26's witness faults
 //	curl -XPOST :9091/v1/links -d '{"count":10}'
+//	curl -XPOST :9091/v1/links -d '{"count":4,"scenario":"E27"}'
 //	curl :9091/v1/fleet
 package main
 
@@ -60,6 +62,7 @@ func main() {
 		lanes    = flag.Int("lanes", 0, "default design: active lanes (0 = config default)")
 		spares   = flag.Int("spares", -1, "default design: spare channels (-1 = config default)")
 		hazard   = flag.Float64("hazard", -1, "default design: per-superframe channel kill probability (-1 = config default)")
+		scenName = flag.String("scenario", "", "default design: bind links to a registered scenario's witness fault schedule (experiment ID like E26 or spec name; see mosaicbench -list)")
 	)
 	flag.Parse()
 
@@ -85,6 +88,9 @@ func main() {
 		}
 		if *hazard >= 0 {
 			cfg.Design.Hazard = *hazard
+		}
+		if *scenName != "" {
+			cfg.Design.Scenario = *scenName
 		}
 		return cfg, cfg.Validate()
 	}

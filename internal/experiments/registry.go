@@ -17,8 +17,18 @@ type Experiment struct {
 	ID    string
 	Title string
 	Claim string // the abstract's wording this experiment validates
+	Kind  string // KindPaper, KindAblation, or KindScenario
 	Gen   func(seed int64) (Table, error)
 }
+
+// Experiment kinds: the registry carries three families and callers
+// (mosaicbench -list, the conformance CI job) enumerate them
+// separately.
+const (
+	KindPaper    = "paper"    // reproduces a claim from the source paper
+	KindAblation = "ablation" // isolates one design choice
+	KindScenario = "scenario" // scenario-library run (internal/scenario)
+)
 
 // unseeded adapts a deterministic (seedless) generator to the registry
 // signature.
@@ -34,7 +44,7 @@ func unseeded(f func() (Table, error)) func(int64) (Table, error) {
 var registry []Experiment
 
 func init() {
-	registry = []Experiment{
+	paper := []Experiment{
 		{
 			ID:    "E1",
 			Title: "the reach/power/reliability trade-off at 800G",
@@ -185,6 +195,8 @@ func init() {
 			Claim: "a wide-and-slow link loses channels in bursts, not all at once — selective repeat retransmits only what died, and QoS-classed virtual channels keep priority traffic flowing through incast",
 			Gen:   E25ARQGoodput,
 		},
+	}
+	ablations := []Experiment{
 		{
 			ID:    "A1",
 			Title: "ablation: oversampled core groups vs single-core mapping",
@@ -216,6 +228,45 @@ func init() {
 			Gen:   unseeded(A5Modulation),
 		},
 	}
+	for i := range paper {
+		paper[i].Kind = KindPaper
+	}
+	for i := range ablations {
+		ablations[i].Kind = KindAblation
+	}
+	// Presentation order: paper experiments, then the scenario library
+	// (E26, E27, ... — auto-registered from internal/scenario, so a new
+	// library entry gets a table, a seed, and a determinism pin for
+	// free), then ablations.
+	registry = append(registry, paper...)
+	registry = append(registry, scenarioExperiments()...)
+	registry = append(registry, ablations...)
+}
+
+// Kinds returns the distinct experiment kinds in presentation order
+// (first appearance wins).
+func Kinds() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, e := range registry {
+		if !seen[e.Kind] {
+			seen[e.Kind] = true
+			out = append(out, e.Kind)
+		}
+	}
+	return out
+}
+
+// ByKind returns the registered experiments of one kind, in
+// presentation order.
+func ByKind(kind string) []Experiment {
+	var out []Experiment
+	for _, e := range registry {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
 }
 
 // Registry returns the registered experiments in presentation order.

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mosaic/internal/scenario"
+)
+
+// scenarioExperiments adapts the scenario library (internal/scenario)
+// into registry entries: every LibraryEntry becomes an experiment whose
+// table is the scenario's windowed run summary, with the event-log sha
+// in the notes as the determinism pin. The run seed substitutes the
+// spec's seed, so `mosaicbench -seed` sweeps scenarios like any other
+// experiment.
+func scenarioExperiments() []Experiment {
+	var out []Experiment
+	for _, entry := range scenario.Library() {
+		entry := entry
+		out = append(out, Experiment{
+			ID:    entry.ID,
+			Title: entry.Title,
+			Claim: entry.Claim,
+			Kind:  KindScenario,
+			Gen: func(seed int64) (Table, error) {
+				return scenarioTableWithWorkers(entry, seed, 0)
+			},
+		})
+	}
+	return out
+}
+
+// scenarioTableWithWorkers renders one scenario run as a table. The
+// workers parameter exists for the determinism test: the rendered table
+// (rows and notes, sha included) must be byte-identical at any value.
+func scenarioTableWithWorkers(entry scenario.LibraryEntry, seed int64, workers int) (Table, error) {
+	spec := entry.Spec
+	spec.Seed = seed
+	res, err := scenario.Run(spec, scenario.Options{Workers: workers})
+	if err != nil {
+		return Table{}, err
+	}
+	t := tableFor(entry.ID)
+	t.Columns = []string{"epochs", "flows", "unroutable", "env events", "done", "Gbit done", "active@end", "cross@end"}
+	for _, w := range res.Windows {
+		t.AddRow(
+			fmt.Sprintf("%d-%d", w.Start, w.End),
+			fmt.Sprintf("%d", w.Flows),
+			fmt.Sprintf("%d", w.Unroutable),
+			fmt.Sprintf("%d", w.EnvEvents),
+			fmt.Sprintf("%d", w.Done),
+			fm(w.BitsDone/1e9, 1),
+			fmt.Sprintf("%d", w.ActiveEnd),
+			fmt.Sprintf("%d", w.CrossEnd),
+		)
+	}
+	faults := make([]string, 0, len(res.Faults))
+	for _, fc := range res.Faults {
+		faults = append(faults, fmt.Sprintf("%s: %d events (expect %.1f ± %.1f)",
+			fc.Name, fc.Count, fc.Mean, 6*fc.Sigma+0.5))
+	}
+	faultNote := "no environments"
+	if len(faults) > 0 {
+		faultNote = strings.Join(faults, "; ")
+	}
+	t.Notes = fmt.Sprintf("scenario %s: %d hosts, %d links, %d epochs; %d flows (%d done, %d stalled, %d unroutable); "+
+		"faults: %s; event log sha256/8 = %s (byte-identical at any worker count)",
+		spec.Name, res.Hosts, res.Links, res.Epochs, res.Flows, res.Done, res.Stalled, res.Unroutable,
+		faultNote, res.LogSHA)
+	return t, nil
+}

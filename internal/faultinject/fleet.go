@@ -69,9 +69,15 @@ func (fa *FleetAging) DeadAt(l, horizon int) int {
 	if fa.decays[l] <= 0 {
 		return -1
 	}
-	// exp(-d*e) < floor  ⇔  e > ln(1/floor)/d.
+	// exp(-d*e) < floor  ⇔  e > ln(1/floor)/d. The closed form only
+	// seeds the search: float rounding can land it one epoch off either
+	// way (a floor of exactly exp(-d*e) makes epoch e alive — the
+	// comparison is strict — while ceil may still return e), so walk to
+	// the true first dead epoch in both directions.
 	e := int(math.Ceil(math.Log(1/fa.Floor) / fa.decays[l]))
 	for ; e > 0 && fa.Fraction(l, e-1) == 0; e-- {
+	}
+	for ; fa.Fraction(l, e) != 0; e++ {
 	}
 	if e >= horizon {
 		return -1

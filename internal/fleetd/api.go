@@ -139,6 +139,11 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 type createRequest struct {
 	Count  int         `json:"count"`
 	Design *LinkDesign `json:"design,omitempty"`
+	// Scenario binds the created links to a registered scenario
+	// (internal/scenario) by experiment ID or spec name: their fault
+	// schedules become the scenario's witness schedule. Shorthand for
+	// setting design.scenario on top of the fleet's default design.
+	Scenario string `json:"scenario,omitempty"`
 }
 
 type createResponse struct {
@@ -154,6 +159,11 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Count == 0 {
 		req.Count = 1
+	}
+	if req.Scenario != "" {
+		d := s.fleet.DesignOrDefault(req.Design)
+		d.Scenario = req.Scenario
+		req.Design = &d
 	}
 	ids, err := s.fleet.Create(req.Count, req.Design)
 	resp := createResponse{IDs: ids}

@@ -8,6 +8,7 @@ import (
 	"os"
 
 	"mosaic/internal/phy"
+	"mosaic/internal/scenario"
 )
 
 // LinkDesign is the per-link build recipe: the PHY width, the MAC
@@ -34,6 +35,14 @@ type LinkDesign struct {
 	// superframes (a fresh seeded schedule is generated each horizon).
 	Hazard  float64 `json:"hazard"`
 	Horizon int     `json:"horizon"`
+
+	// Scenario names a registered scenario (internal/scenario, by
+	// experiment ID "E26" or spec name "ai-collective-seu"). When set,
+	// the link's fault schedule is the scenario's witness schedule —
+	// its environment models mapped down to per-channel faults —
+	// instead of the hazard-generated random kills. A fresh seeded
+	// witness is generated each horizon round, like RandomKills.
+	Scenario string `json:"scenario,omitempty"`
 }
 
 // DefaultLinkDesign returns the fleet-scale link recipe: 8+2 lanes of
@@ -72,6 +81,11 @@ func (d *LinkDesign) Validate() error {
 	}
 	if d.Horizon <= 0 {
 		return errors.New("fleetd: design horizon must be > 0")
+	}
+	if d.Scenario != "" {
+		if _, ok := scenario.Lookup(d.Scenario); !ok {
+			return fmt.Errorf("fleetd: unknown scenario %q (see mosaicbench -list)", d.Scenario)
+		}
 	}
 	return nil
 }

@@ -182,6 +182,18 @@ func (f *Fleet) CountScrapeShed() {
 // topology slot, and one token from the bucket. It returns the IDs
 // admitted; if any were shed, the first ShedError is returned alongside
 // the partial result.
+// DesignOrDefault returns a copy of d, or of the fleet's default design
+// when d is nil — the base callers layer per-request overrides (like a
+// scenario binding) onto before Create.
+func (f *Fleet) DesignOrDefault(d *LinkDesign) LinkDesign {
+	if d != nil {
+		return *d
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cfg.Design
+}
+
 func (f *Fleet) Create(n int, d *LinkDesign) ([]int, error) {
 	if n <= 0 {
 		return nil, errors.New("fleetd: create needs count > 0")

@@ -7,6 +7,7 @@ import (
 	"mosaic/internal/faultinject"
 	"mosaic/internal/mac"
 	"mosaic/internal/phy"
+	"mosaic/internal/scenario"
 	"mosaic/internal/sim"
 )
 
@@ -166,12 +167,27 @@ func (m *managedLink) construct() error {
 }
 
 // loadSchedule (re)generates the seeded fault schedule for the current
-// horizon round and arms a fresh applier on it.
+// horizon round and arms a fresh applier on it. A design bound to a
+// registered scenario replays that scenario's witness schedule (its
+// environment models mapped to per-channel faults) instead of
+// hazard-generated random kills; both derive the round's seed the same
+// way, so scenario links are exactly as reproducible as hazard links.
 func (m *managedLink) loadSchedule() {
 	d := m.design
 	var sched faultinject.Schedule
-	if d.Hazard > 0 {
-		rng := rand.New(rand.NewSource(m.seed + int64(m.round)*7907))
+	roundSeed := m.seed + int64(m.round)*7907
+	if entry, ok := scenario.Lookup(d.Scenario); d.Scenario != "" && ok {
+		s, err := scenario.Witness(entry.Spec, d.Lanes+d.Spares, d.Horizon, roundSeed)
+		if err != nil {
+			// Unreachable for a registered scenario (the library validates);
+			// log and serve unfaulted rather than wedging the lifecycle.
+			m.logf("sf=%d scenario=%s witness error: %v", m.sf, entry.ID, err)
+		} else {
+			sched = s
+			m.logf("sf=%d scenario=%s witness events=%d round=%d", m.sf, entry.ID, len(sched.Events), m.round)
+		}
+	} else if d.Hazard > 0 {
+		rng := rand.New(rand.NewSource(roundSeed))
 		sched = faultinject.RandomKills(rng, d.Lanes+d.Spares, d.Hazard, d.Horizon)
 	}
 	m.applier = faultinject.NewApplier(m.fwd, sched)
@@ -331,6 +347,7 @@ type LinkInfo struct {
 	Queued    uint64  `json:"queued"`
 	Delivered uint64  `json:"delivered"`
 	Retx      uint64  `json:"retransmits"`
+	Scenario  string  `json:"scenario,omitempty"`
 	Err       string  `json:"err,omitempty"`
 }
 
@@ -339,6 +356,7 @@ func (m *managedLink) info() LinkInfo {
 		ID: m.id, State: m.state.String(), TopoLink: m.topoID, Seed: m.seed,
 		SF: m.sf, Lanes: m.lanes(), Contract: m.contract, Nominal: m.nominal,
 		Fraction: m.caps.frac, Queued: m.queued, Delivered: m.delivered, Retx: m.retx,
+		Scenario: m.design.Scenario,
 	}
 	if m.err != nil {
 		info.Err = m.err.Error()

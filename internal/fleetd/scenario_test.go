@@ -1,0 +1,109 @@
+package fleetd
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// A link created with a scenario binding must replay the scenario's
+// witness fault schedule: the event log carries the witness line and
+// the injected faults, the inspection snapshot names the scenario, and
+// the same (scenario, seed) reproduces the same events.
+func TestScenarioLinkRunsWitnessSchedule(t *testing.T) {
+	run := func() []string {
+		cfg := testConfig(1)
+		h := newAPIHarness(t, cfg)
+		code, body := h.do("POST", "/v1/links", map[string]any{"count": 1, "scenario": "E26"})
+		if code != http.StatusCreated {
+			t.Fatalf("create = %d %s", code, body)
+		}
+		for i := 0; i < 30; i++ {
+			h.fleet.Step()
+		}
+		var info LinkInfo
+		code, body = h.do("GET", "/v1/links/0", nil)
+		h.decode(body, &info)
+		if code != http.StatusOK || info.Scenario != "E26" {
+			t.Fatalf("inspect = %d %+v, want scenario E26", code, info)
+		}
+		return h.fleet.EventLog()
+	}
+
+	log := run()
+	var witness, injects int
+	for _, line := range log {
+		if strings.Contains(line, "scenario=E26 witness events=") {
+			witness++
+		}
+		if strings.Contains(line, "inject") {
+			injects++
+		}
+	}
+	if witness == 0 {
+		t.Fatalf("no witness-schedule line in the event log:\n%s", strings.Join(log, "\n"))
+	}
+	if injects == 0 {
+		t.Fatalf("witness schedule injected no faults over 30 epochs:\n%s", strings.Join(log, "\n"))
+	}
+
+	// Same scenario, same fleet seed: byte-identical event log.
+	again := run()
+	if strings.Join(log, "\n") != strings.Join(again, "\n") {
+		t.Fatal("scenario-bound fleet run is not reproducible")
+	}
+}
+
+// The scenario shorthand layers onto the fleet's default design; an
+// explicit design override keeps its own fields.
+func TestScenarioShorthandKeepsDesignOverride(t *testing.T) {
+	h := newAPIHarness(t, testConfig(1))
+	d := DefaultLinkDesign()
+	d.Lanes = 4
+	code, body := h.do("POST", "/v1/links", map[string]any{
+		"count": 1, "scenario": "flash-diurnal-thermal", "design": d,
+	})
+	if code != http.StatusCreated {
+		t.Fatalf("create = %d %s", code, body)
+	}
+	for i := 0; i < 4; i++ {
+		h.fleet.Step()
+	}
+	var info LinkInfo
+	_, body = h.do("GET", "/v1/links/0", nil)
+	h.decode(body, &info)
+	if info.Scenario != "flash-diurnal-thermal" || info.Nominal != 4 {
+		t.Fatalf("inspect = %+v, want scenario flash-diurnal-thermal on 4 lanes", info)
+	}
+}
+
+// An unknown scenario must be rejected at admission with 400, both via
+// the shorthand and via the design field.
+func TestScenarioUnknownRejected(t *testing.T) {
+	h := newAPIHarness(t, testConfig(1))
+	code, body := h.do("POST", "/v1/links", map[string]any{"count": 1, "scenario": "nope"})
+	if code != http.StatusBadRequest || !strings.Contains(string(body), "unknown scenario") {
+		t.Fatalf("create with unknown scenario = %d %s", code, body)
+	}
+	d := DefaultLinkDesign()
+	d.Scenario = "also-nope"
+	if code, body = h.do("POST", "/v1/links", map[string]any{"count": 1, "design": d}); code != http.StatusBadRequest {
+		t.Fatalf("create with unknown design scenario = %d %s", code, body)
+	}
+	if n := len(h.fleet.EventLog()); n != 0 {
+		t.Fatalf("rejected admissions still logged %d events", n)
+	}
+}
+
+// Config validation must catch a bad scenario in the default design.
+func TestConfigRejectsUnknownScenario(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.Design.Scenario = "nope"
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("config with unknown scenario validated")
+	}
+	cfg.Design.Scenario = "E27"
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

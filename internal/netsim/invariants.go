@@ -1,0 +1,77 @@
+package netsim
+
+import "fmt"
+
+// This file is the fleet engine's self-check surface: an exported
+// invariant validator over the sharded allocation, callable at the
+// instant rates are globally consistent. The scenario conformance
+// harness (internal/scenario) asserts these properties every epoch for
+// every registered scenario; the deep netsim property suite asserts the
+// same two properties for IncFlowSim.
+
+// SetResolvedHook installs fn to run inside every Step, at the one
+// sequential point where the epoch's rates are fully resolved: after
+// phase C's corrective waterfill, before cross completions retire
+// proxies and the shard heaps drain. At that instant every dirty
+// component has been re-filled, so conservation and per-shard max-min
+// hold exactly — the natural place to call CheckInvariants. nil removes
+// the hook.
+func (fs *FleetSim) SetResolvedHook(fn func()) { fs.onResolved = fn }
+
+// CheckInvariants validates the two fluid-model properties on the
+// current allocation:
+//
+//  1. Conservation: on every link, the rates of the flows crossing it
+//     (local flows and pinned cross-flow proxies alike) sum to no more
+//     than the link's current capacity.
+//  2. Bottleneck saturation (max-min): every active local flow has at
+//     least one saturated link on its path — otherwise progressive
+//     filling could raise it. Cross-flow proxies are exempt: a proxy is
+//     pinned to the min of its shards' offers, which legitimately
+//     leaves the non-binding shard's links unsaturated (the documented
+//     bounded-staleness of the fleet model).
+//
+// Tolerances match the package's conservation test: 1e-9 relative plus
+// 1 bps absolute, so float accumulation over a fleet cannot produce a
+// spurious failure. It returns nil when both properties hold.
+//
+// Call it from a SetResolvedHook: between barriers (after Step returns)
+// completed flows have already freed capacity without a re-fill, so the
+// saturation property transiently and legitimately does not hold.
+func (fs *FleetSim) CheckInvariants() error {
+	// Accumulate per-link allocated rate from each shard's link index.
+	// A link is only ever indexed by its owning shard, so no flow is
+	// double-counted (a cross flow appears once per shard, as the proxy
+	// restricted to that shard's links).
+	sum := make([]float64, len(fs.capacity))
+	for _, sh := range fs.shards {
+		for l, refs := range sh.g.linkFlows {
+			for _, ref := range refs {
+				sum[l] += ref.f.rate
+			}
+		}
+	}
+	for l, s := range sum {
+		if cap := fs.capacity[l]; s > cap*(1+1e-9)+1 {
+			return fmt.Errorf("netsim: link %d oversubscribed: %.6g bps allocated on %.6g bps capacity", l, s, cap)
+		}
+	}
+	saturated := func(l int) bool {
+		return sum[l] >= fs.capacity[l]*(1-1e-9)-1
+	}
+	for _, sh := range fs.shards {
+		for id, f := range sh.active {
+			ok := false
+			for _, l := range f.Path {
+				if saturated(l) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return fmt.Errorf("netsim: flow %d (rate %.6g) has no saturated link on its path — allocation is not max-min", id, f.rate)
+			}
+		}
+	}
+	return nil
+}

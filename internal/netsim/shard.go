@@ -65,6 +65,11 @@ type FleetSim struct {
 	arrivals      int
 	stalls        int
 	crossArrivals int
+
+	// onResolved, when set, runs at the sequential point of Step where
+	// the epoch's rates are fully resolved (after phase C, before cross
+	// completions) — see SetResolvedHook.
+	onResolved func()
 }
 
 // fleetShard is one pod's slice of the fleet: its own flowGraph over
@@ -365,6 +370,12 @@ func (fs *FleetSim) Step(epochLen sim.Time) {
 		sh.g.now = fs.now
 		sh.noteReRated(sh.g.flush(false))
 	})
+
+	// Rates are now globally consistent: every dirty component has been
+	// re-filled and the pinned proxies carry their barrier rates.
+	if fs.onResolved != nil {
+		fs.onResolved()
+	}
 
 	// Cross completions resolve at the barrier: a cross flow finishing
 	// inside this epoch is recorded at its exact finish time and its

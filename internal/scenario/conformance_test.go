@@ -1,0 +1,74 @@
+package scenario
+
+import (
+	"testing"
+)
+
+// The conformance harness is the tentpole's contract: every registered
+// scenario must produce byte-identical event logs at 1, 3, and
+// GOMAXPROCS workers, hold netsim conservation + max-min at every
+// resolved point, and inject fault counts matching each environment's
+// closed-form expectation. Table-driven over the whole library so a
+// newly registered scenario is conformance-tested by construction.
+func TestLibraryConformance(t *testing.T) {
+	entries := Library()
+	if len(entries) < 2 {
+		t.Fatalf("library has %d scenarios, want at least E26 and E27", len(entries))
+	}
+	for _, e := range entries {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			rep, err := Verify(e.Spec, []int{1, 3, 0})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Flows == 0 {
+				t.Fatal("scenario injected no flows")
+			}
+			if rep.Done == 0 {
+				t.Fatal("scenario completed no flows")
+			}
+			if len(rep.Faults) != len(e.Spec.Environments) {
+				t.Fatalf("report has %d fault counts, want %d", len(rep.Faults), len(e.Spec.Environments))
+			}
+			for _, fc := range rep.Faults {
+				if fc.Count == 0 && fc.Mean >= 1 {
+					t.Errorf("environment %s injected no events (expected mean %.1f)", fc.Name, fc.Mean)
+				}
+			}
+			t.Logf("%s: sha=%s flows=%d done=%d stalled=%d", e.ID, rep.LogSHA, rep.Flows, rep.Done, rep.Stalled)
+		})
+	}
+}
+
+// A violated fault expectation must fail conformance: an environment
+// whose closed-form mean is far from what the seeded run injects is a
+// model bug, not noise.
+func TestVerifyFaultExpectationTolerance(t *testing.T) {
+	spec := Library()[0].Spec
+	rep, err := Verify(spec, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fc := range rep.Faults {
+		if fc.Sigma == 0 {
+			continue
+		}
+		// The seeded count sits inside 6 sigma; a 12-sigma shift of the
+		// same count against the same mean must be rejected. Simulate by
+		// checking the arithmetic the harness applies.
+		tol := 6*fc.Sigma + 0.5
+		shifted := fc.Mean + 12*fc.Sigma
+		if d := shifted - fc.Mean; d <= tol {
+			t.Fatalf("tolerance arithmetic degenerate: 12 sigma %.1f inside tol %.1f", d, tol)
+		}
+	}
+}
+
+// Verify must reject an empty worker list instead of silently passing.
+func TestVerifyNeedsWorkers(t *testing.T) {
+	if _, err := Verify(Library()[0].Spec, nil); err == nil {
+		t.Fatal("Verify accepted an empty worker list")
+	}
+}

@@ -1,0 +1,88 @@
+package scenario
+
+// LibraryEntry binds a scenario spec to the experiment identity it
+// registers under in internal/experiments: every entry gets a table, a
+// seed, a golden-sha determinism pin, and conformance coverage for
+// free, and is addressable by mosaicfleetd's link-create `scenario`
+// field (by experiment ID or spec name).
+type LibraryEntry struct {
+	ID    string
+	Title string
+	Claim string
+	Spec  Spec
+}
+
+// Library returns the registered scenarios in presentation order.
+// Entries are returned by value; callers may adjust Spec.Seed (the
+// experiment bridge substitutes the run seed) without affecting the
+// library.
+func Library() []LibraryEntry {
+	return []LibraryEntry{
+		{
+			ID:    "E26",
+			Title: "AI-collective incast under radiation SEU bursts",
+			Claim: "collective traffic (all-reduce + all-to-all + incast) keeps completing while correlated SEU bursts dip links; fault counts match the Binomial expectation",
+			Spec: Spec{
+				Name:   "ai-collective-seu",
+				Seed:   1,
+				Epochs: 24,
+				Topology: TopoSpec{
+					Pods: 4, Leaves: 4, Spines: 3, HostsPerLeaf: 4, LinkRateBps: 100e9,
+				},
+				Defs: map[string]Component{
+					"group8": {
+						Kind: KindAllReduce, Groups: 2, GroupSize: 8,
+						RoundsPerEpoch: 1, FlowBits: 2e9,
+					},
+				},
+				Workloads: []Component{
+					{Ref: "group8"},
+					{Kind: KindAllToAll, Groups: 2, GroupSize: 8, PeriodEpochs: 3, FlowBits: 8e9},
+					{Kind: KindIncast, FanIn: 12, PeriodEpochs: 4, FlowBits: 1e9},
+				},
+				Environments: []Component{
+					{
+						Kind:    KindRadiation,
+						SEURate: 0.02, SEUFraction: 0.35,
+						BurstRate: 0.15, BurstSpan: 4, BurstEpochs: 3, BurstFraction: 0.5,
+					},
+				},
+			},
+		},
+		{
+			ID:    "E27",
+			Title: "Flash-crowd diurnal load under thermal cycling and contamination",
+			Claim: "diurnal user-facing load with a 4x flash crowd rides out a thermal-cycle capacity derate plus permanent connector contamination",
+			Spec: Spec{
+				Name:   "flash-diurnal-thermal",
+				Seed:   1,
+				Epochs: 24,
+				Topology: TopoSpec{
+					Pods: 3, Leaves: 4, Spines: 3, HostsPerLeaf: 4, LinkRateBps: 100e9,
+				},
+				Workloads: []Component{
+					{
+						Kind: KindDiurnal, PeakLoad: 2, MeanBits: 8e8,
+						Flash: &FlashSpec{AtEpoch: 8, Epochs: 4, Mult: 4},
+					},
+					{Kind: KindStorage, WritesPerEpoch: 6, Fanout: 3, FlowBits: 4e9},
+				},
+				Environments: []Component{
+					{Kind: KindThermal, BaseK: 300, SwingK: 60, PeriodEpochs: 12, MarginDB: 3},
+					{Kind: KindContamination, AtEpoch: 10, Links: 6, Span: 4, Fraction: 0.45},
+				},
+			},
+		},
+	}
+}
+
+// Lookup resolves a scenario by experiment ID ("E26") or spec name
+// ("ai-collective-seu").
+func Lookup(name string) (LibraryEntry, bool) {
+	for _, e := range Library() {
+		if e.ID == name || e.Spec.Name == name {
+			return e, true
+		}
+	}
+	return LibraryEntry{}, false
+}

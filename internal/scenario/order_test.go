@@ -1,0 +1,101 @@
+package scenario
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Composition order must not leak into results: the same workload ×
+// environment set listed in any array order (including through refs)
+// yields a byte-identical event log. 50 shuffled iterations, matching
+// the repo's map-order regression pattern — a single pass can get
+// lucky, a re-ordered RNG stream cannot survive 50.
+func TestCompositionOrderInvariant50Iterations(t *testing.T) {
+	base := Library()[0].Spec // E26: three workloads, one environment
+	base.Epochs = 10          // keep 50 iterations cheap
+	ref, err := Run(base, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shuf := rand.New(rand.NewSource(99))
+	for i := 0; i < 50; i++ {
+		s := base
+		s.Workloads = append([]Component(nil), base.Workloads...)
+		s.Environments = append([]Component(nil), base.Environments...)
+		shuf.Shuffle(len(s.Workloads), func(a, b int) {
+			s.Workloads[a], s.Workloads[b] = s.Workloads[b], s.Workloads[a]
+		})
+		shuf.Shuffle(len(s.Environments), func(a, b int) {
+			s.Environments[a], s.Environments[b] = s.Environments[b], s.Environments[a]
+		})
+		got, err := Run(s, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.LogSHA != ref.LogSHA {
+			t.Fatalf("iteration %d: shuffled spec diverged: sha %s vs %s\n%s",
+				i, got.LogSHA, ref.LogSHA, firstLogDiff(ref.EventLog, got.EventLog))
+		}
+	}
+}
+
+// Inlining a def must be equivalent to referencing it: resolution
+// canonicalizes by content, so {ref} and its target are the same
+// component.
+func TestRefVersusInlineEquivalent(t *testing.T) {
+	withRef := Library()[0].Spec
+	withRef.Epochs = 10
+
+	inline := withRef
+	inline.Workloads = append([]Component(nil), withRef.Workloads...)
+	for i, c := range inline.Workloads {
+		if c.Ref != "" {
+			rc, err := inline.resolveComponent(c, 0, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inline.Workloads[i] = rc
+		}
+	}
+	inline.Defs = nil
+
+	a, err := Run(withRef, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(inline, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.LogSHA != b.LogSHA {
+		t.Fatalf("ref vs inline diverged: %s vs %s\n%s",
+			a.LogSHA, b.LogSHA, firstLogDiff(a.EventLog, b.EventLog))
+	}
+}
+
+// Changing the spec seed must change the run (the seed actually reaches
+// every component's stream), and repeating a seed must reproduce it.
+func TestSeedReachesComponents(t *testing.T) {
+	s := Library()[0].Spec
+	s.Epochs = 8
+	a, err := Run(s, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Run(s, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.LogSHA != again.LogSHA {
+		t.Fatal("same seed did not reproduce the run")
+	}
+	s.Seed = 12345
+	b, err := Run(s, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.LogSHA == b.LogSHA {
+		t.Fatal("different seed produced an identical run")
+	}
+}

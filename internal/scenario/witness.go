@@ -1,0 +1,118 @@
+package scenario
+
+import (
+	"math"
+	"math/rand"
+
+	"mosaic/internal/faultinject"
+)
+
+// Witness maps a scenario's environment models down to one link's
+// fault schedule (internal/faultinject), so mosaicfleetd and linksoak
+// can run a scenario's hostile environment at link level — the fleet-
+// scale per-epoch capacity model and the link-scale per-superframe
+// channel model are two views of the same spec:
+//
+//   - radiation: each superframe Bernoulli(seu_rate) draws a one-
+//     superframe high-BER burst on a random channel, and
+//     Bernoulli(burst_rate) draws a correlated upset spanning
+//     burst_span adjacent channels.
+//   - thermal: the cycle's peak power penalty becomes an aging ramp —
+//     BER rises toward 1e-6·10^penaltyDB over a quarter of the horizon,
+//     re-issued each cycle on a rotating channel.
+//   - contamination: at the proportional superframe, links/4 (min 1)
+//     correlated events each take out span adjacent channels for good.
+//
+// Events draw from streams seeded by seed × component content, so the
+// schedule is deterministic and independent of spec array order. The
+// returned schedule is sorted and validated.
+func Witness(spec Spec, channels, superframes int, seed int64) (faultinject.Schedule, error) {
+	if err := spec.Validate(); err != nil {
+		return faultinject.Schedule{}, err
+	}
+	es, err := spec.resolve(spec.Environments, "environment")
+	if err != nil {
+		return faultinject.Schedule{}, err
+	}
+	sched := faultinject.Schedule{Seed: seed}
+	for _, r := range es {
+		rng := rand.New(rand.NewSource(seed ^ r.seed))
+		sched.Events = append(sched.Events, witnessEvents(r, rng, channels, superframes, spec.Epochs)...)
+	}
+	sched.Sort()
+	if err := sched.Validate(); err != nil {
+		return faultinject.Schedule{}, err
+	}
+	return sched, nil
+}
+
+func witnessEvents(r resolved, rng *rand.Rand, channels, superframes, epochs int) []faultinject.Event {
+	c := r.comp
+	var out []faultinject.Event
+	span := func(want int) int {
+		if want > channels {
+			return channels
+		}
+		return want
+	}
+	switch c.Kind {
+	case KindRadiation:
+		for sf := 0; sf < superframes; sf++ {
+			if c.SEURate > 0 && rng.Float64() < c.SEURate {
+				out = append(out, faultinject.Event{
+					At: sf, Kind: faultinject.KindBurst,
+					Channel: rng.Intn(channels), BER: 1e-3, Duration: 1,
+				})
+			}
+			if c.BurstRate > 0 && rng.Float64() < c.BurstRate {
+				s := span(c.BurstSpan)
+				out = append(out, faultinject.Event{
+					At: sf, Kind: faultinject.KindCorrelated,
+					Channel: rng.Intn(channels - s + 1), Span: s,
+				})
+			}
+		}
+	case KindThermal:
+		// Peak penalty over the cycle sets the aging BER target.
+		led, iNom := thermalLED()
+		peakT := c.BaseK + c.SwingK
+		ber := 1e-6 * math.Pow(10, led.PowerPenaltyDB(iNom, peakT))
+		if ber > 0.5 {
+			ber = 0.5
+		}
+		if ber < 1e-6 {
+			ber = 1e-6
+		}
+		ramp := superframes / 4
+		if ramp < 1 {
+			ramp = 1
+		}
+		cycles := (epochs + c.PeriodEpochs - 1) / c.PeriodEpochs
+		if cycles > 8 {
+			cycles = 8
+		}
+		for k := 0; k < cycles; k++ {
+			out = append(out, faultinject.Event{
+				At: k * superframes / cycles, Kind: faultinject.KindAging,
+				Channel: rng.Intn(channels), BER: ber, Duration: ramp,
+			})
+		}
+	case KindContamination:
+		at := int(float64(c.AtEpoch) / float64(epochs) * float64(superframes))
+		if at >= superframes {
+			at = superframes - 1
+		}
+		n := c.Links / 4
+		if n < 1 {
+			n = 1
+		}
+		for k := 0; k < n; k++ {
+			s := span(c.Span)
+			out = append(out, faultinject.Event{
+				At: at, Kind: faultinject.KindCorrelated,
+				Channel: rng.Intn(channels - s + 1), Span: s,
+			})
+		}
+	}
+	return out
+}
